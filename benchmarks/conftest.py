@@ -1,0 +1,28 @@
+"""Fixtures for the reproduction benchmarks.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Set
+``CARAT_BENCH_FULL=1`` for paper-length simulation windows (20 minutes
+of simulated time per operating point instead of 4).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.model.parameters import paper_sites
+
+
+@pytest.fixture(scope="session")
+def bench_sites():
+    """The paper's two-node configuration."""
+    return paper_sites()
+
+
+@pytest.fixture(scope="session")
+def sim_window():
+    """(warmup_ms, duration_ms) for the simulator runs."""
+    if os.environ.get("CARAT_BENCH_FULL", "") == "1":
+        return 60_000.0, 1_200_000.0
+    return 20_000.0, 240_000.0

@@ -1,0 +1,62 @@
+"""Ablation: shared database buffer (paper §3 assumption / §7 future
+work).
+
+The paper assumes every granule access is a physical disk I/O.  This
+ablation gives both the model and the simulator a shared buffer with
+hit probabilities 0..0.8 and shows the disk bottleneck easing: higher
+throughput, lower Total-DIO per commit.
+"""
+
+import pytest
+
+from repro.model.parameters import paper_sites
+from repro.model.solver import solve_model
+from repro.model.workload import mb8
+from repro.testbed.system import simulate
+
+HITS = (0.0, 0.4, 0.8)
+
+
+def _sweep(window):
+    warmup, duration = window
+    out = {}
+    for hit in HITS:
+        sites = {name: site.with_overrides(buffer_hit_probability=hit)
+                 for name, site in paper_sites().items()}
+        model = solve_model(mb8(8), sites, max_iterations=1000)
+        sim = simulate(mb8(8), sites, seed=23, warmup_ms=warmup,
+                       duration_ms=duration)
+        out[hit] = {
+            "model_xput": model.site("A").transaction_throughput_per_s,
+            "model_dio": model.site("A").dio_rate_per_s,
+            "sim_xput": sim.site("A").transaction_throughput_per_s,
+            "sim_dio": sim.site("A").dio_rate_per_s,
+        }
+    return out
+
+
+def test_bench_ablation_buffer(benchmark, sim_window):
+    results = benchmark.pedantic(lambda: _sweep(sim_window),
+                                 rounds=1, iterations=1)
+    benchmark.extra_info["by_hit_probability"] = {
+        str(hit): row for hit, row in results.items()}
+
+    # Throughput strictly improves with buffer hits in both columns.
+    model_x = [results[h]["model_xput"] for h in HITS]
+    sim_x = [results[h]["sim_xput"] for h in HITS]
+    assert model_x == sorted(model_x)
+    assert sim_x[0] < sim_x[-1]
+    # Model and simulator agree on the buffered configurations too.
+    for hit in HITS:
+        assert results[hit]["model_xput"] == pytest.approx(
+            results[hit]["sim_xput"], rel=0.3)
+
+    print()
+    print("Shared-buffer ablation (MB8, n=8, node A):")
+    print(f"{'hit':>5} | {'model XPUT':>10} {'sim XPUT':>9} | "
+          f"{'model DIO':>9} {'sim DIO':>8}")
+    for hit in HITS:
+        row = results[hit]
+        print(f"{hit:>5.1f} | {row['model_xput']:>10.3f} "
+              f"{row['sim_xput']:>9.3f} | {row['model_dio']:>9.1f} "
+              f"{row['sim_dio']:>8.1f}")

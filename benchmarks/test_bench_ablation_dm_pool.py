@@ -1,0 +1,60 @@
+"""Ablation: DM server pool size (paper §2).
+
+CARAT fixes the number of DM servers per node at start-up; a
+transaction holds one DM at every participating site for its lifetime.
+With a pool smaller than the number of concurrent transactions,
+DM allocation becomes an admission control: fewer transactions run at
+once, which *reduces* lock contention at large n — the classic
+multiprogramming-level trade-off.
+"""
+
+from repro.model.parameters import paper_sites
+from repro.model.workload import mb8
+from repro.testbed.system import simulate
+
+POOL_SIZES = (2, 4, 32)
+
+
+def _run(window):
+    warmup, duration = window
+    sites = paper_sites()
+    out = {}
+    for pool in POOL_SIZES:
+        sim = simulate(mb8(16), sites, seed=53, warmup_ms=warmup,
+                       duration_ms=duration, dm_pool_size=pool)
+        aborts = sum(sum(site.aborts_by_type.values())
+                     for site in sim.sites.values())
+        commits = sim.total_commits()
+        out[pool] = {
+            "xput": sim.site("A").transaction_throughput_per_s,
+            "aborts_per_commit": aborts / commits if commits else 0.0,
+            "lock_waits": sum(site.lock_waits
+                              for site in sim.sites.values()),
+        }
+    return out
+
+
+def test_bench_ablation_dm_pool(benchmark, sim_window):
+    results = benchmark.pedantic(lambda: _run(sim_window),
+                                 rounds=1, iterations=1)
+    benchmark.extra_info["by_pool_size"] = {
+        str(pool): row for pool, row in results.items()}
+
+    # Admission control reduces conflict work: fewer aborts per commit
+    # with the tight pool than with the unconstrained one.
+    assert (results[2]["aborts_per_commit"]
+            <= results[32]["aborts_per_commit"])
+    assert results[2]["lock_waits"] <= results[32]["lock_waits"]
+    # And every configuration still makes progress.
+    for pool in POOL_SIZES:
+        assert results[pool]["xput"] > 0.0
+
+    print()
+    print("DM pool ablation (MB8, n=16, node A):")
+    print(f"{'pool':>5} | {'XPUT':>6} {'aborts/commit':>13} "
+          f"{'lock waits':>10}")
+    for pool in POOL_SIZES:
+        row = results[pool]
+        print(f"{pool:>5} | {row['xput']:>6.3f} "
+              f"{row['aborts_per_commit']:>13.2f} "
+              f"{row['lock_waits']:>10d}")

@@ -1,0 +1,66 @@
+"""Ablation: nonuniform (hot-spot) access — paper §7 future work.
+
+The paper assumes uniform record access and names nonuniform patterns
+as a needed extension.  We implement the classic b-c rule (a fraction
+``a`` of accesses hits a fraction ``b`` of the database) in both the
+model (effective-database-size reduction) and the simulator (skewed
+sampling), and measure the contention blow-up for 80/20 access.
+"""
+
+from repro.model.parameters import paper_sites
+from repro.model.solver import solve_model
+from repro.model.types import ChainType
+from repro.model.workload import mb8
+from repro.testbed.system import simulate
+
+CASES = {"uniform": None, "hot-80/20": (0.8, 0.2),
+         "hot-90/10": (0.9, 0.1)}
+
+
+def _run(window):
+    warmup, duration = window
+    sites = paper_sites()
+    out = {}
+    for label, rule in CASES.items():
+        workload = mb8(8)
+        if rule is not None:
+            workload = workload.with_hotspot(*rule)
+        model = solve_model(workload, sites, max_iterations=1000)
+        sim = simulate(workload, sites, seed=31, warmup_ms=warmup,
+                       duration_ms=duration)
+        sim_aborts = sum(
+            sum(site.aborts_by_type.values())
+            for site in sim.sites.values())
+        out[label] = {
+            "model_xput": model.site("A").transaction_throughput_per_s,
+            "model_pa_lu": model.site("A")
+                           .chains[ChainType.LU].abort_probability,
+            "sim_xput": sim.site("A").transaction_throughput_per_s,
+            "sim_aborts": sim_aborts,
+        }
+    return out
+
+
+def test_bench_ablation_hotspot(benchmark, sim_window):
+    results = benchmark.pedantic(lambda: _run(sim_window),
+                                 rounds=1, iterations=1)
+    benchmark.extra_info.update(results)
+
+    # Contention grows with skew in the model...
+    assert (results["uniform"]["model_pa_lu"]
+            < results["hot-80/20"]["model_pa_lu"]
+            < results["hot-90/10"]["model_pa_lu"])
+    assert (results["uniform"]["model_xput"]
+            > results["hot-90/10"]["model_xput"])
+    # ...and the simulator sees more aborts under skew.
+    assert (results["hot-90/10"]["sim_aborts"]
+            >= results["uniform"]["sim_aborts"])
+
+    print()
+    print("Hot-spot ablation (MB8, n=8, node A):")
+    print(f"{'case':>10} | {'model XPUT':>10} {'Pa(LU)':>7} | "
+          f"{'sim XPUT':>8} {'sim aborts':>10}")
+    for label, row in results.items():
+        print(f"{label:>10} | {row['model_xput']:>10.3f} "
+              f"{row['model_pa_lu']:>7.3f} | {row['sim_xput']:>8.3f} "
+              f"{row['sim_aborts']:>10d}")

@@ -1,0 +1,56 @@
+"""Ablation: exact vs. approximate MVA for the site model (paper §6).
+
+The paper solves the site networks with exact MVA.  This ablation
+quantifies both the accuracy gap and the speedup of swapping in the
+Schweitzer-Bard approximation — the knob that matters when scaling the
+model beyond the paper's populations.
+"""
+
+import time
+
+import pytest
+
+from repro.model.parameters import paper_sites
+from repro.model.solver import solve_model
+from repro.model.workload import mb8
+
+
+def _solve(mode):
+    return solve_model(mb8(8), paper_sites(), mva=mode,
+                       max_iterations=1000)
+
+
+def test_bench_ablation_mva_exact_vs_approximate(benchmark):
+    def run():
+        timings = {}
+        solutions = {}
+        for mode in ("exact", "approx"):
+            start = time.perf_counter()
+            solutions[mode] = _solve(mode)
+            timings[mode] = time.perf_counter() - start
+        return timings, solutions
+
+    timings, solutions = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["solve_seconds"] = timings
+
+    exact = solutions["exact"]
+    approx = solutions["approx"]
+    for node in ("A", "B"):
+        assert (approx.site(node).transaction_throughput_per_s
+                == pytest.approx(
+                    exact.site(node).transaction_throughput_per_s,
+                    rel=0.10))
+        assert (approx.site(node).cpu_utilization
+                == pytest.approx(exact.site(node).cpu_utilization,
+                                 abs=0.05))
+
+    gap = abs(approx.site("A").transaction_throughput_per_s
+              - exact.site("A").transaction_throughput_per_s) \
+        / exact.site("A").transaction_throughput_per_s
+    print()
+    print("MVA ablation (MB8, n=8):")
+    print(f"  exact : {timings['exact']:.3f}s  "
+          f"XPUT(A)={exact.site('A').transaction_throughput_per_s:.3f}")
+    print(f"  approx: {timings['approx']:.3f}s  "
+          f"XPUT(A)={approx.site('A').transaction_throughput_per_s:.3f}")
+    print(f"  throughput gap: {100 * gap:.2f}%")

@@ -1,0 +1,28 @@
+"""Reproduction benchmark: Figure 10 — MB4 disk I/O rate.
+
+Model vs. simulator Total-DIO at both nodes for MB4.
+"""
+
+from repro.experiments import experiment, render_figure_series
+from repro.experiments.bench import attach_series, cached_run
+
+
+def test_bench_fig10_mb4_disk_io_rate(benchmark, bench_sites,
+                                      sim_window):
+    spec = experiment("fig10")
+    result = benchmark.pedantic(
+        lambda: cached_run(spec, bench_sites, sim_window),
+        rounds=1, iterations=1)
+    attach_series(benchmark, result, "dio")
+
+    capacity = {"A": 1e3 / 28.0, "B": 1e3 / 40.0}
+    for site in ("A", "B"):
+        series = dict(result.series(site, "model_dio"))
+        for value in series.values():
+            assert 0.0 < value <= capacity[site] * 1.02
+
+    print()
+    for site in ("A", "B"):
+        print(render_figure_series(result, site, "dio",
+                                   "disk I/O rate (ops/s)"))
+        print()

@@ -1,0 +1,26 @@
+"""Reproduction benchmark: Figure 6 — LB8 CPU utilization (Node B).
+
+Model vs. simulator CPU utilization against transaction size for the
+local-only workload.  Target shape: utilization is moderate (the disk
+is the bottleneck) and declines as growing contention idles the CPU.
+"""
+
+from repro.experiments import experiment, render_figure_series
+from repro.experiments.bench import attach_series, cached_run
+
+
+def test_bench_fig6_lb8_cpu_utilization(benchmark, bench_sites,
+                                        sim_window):
+    spec = experiment("fig6")
+    result = benchmark.pedantic(
+        lambda: cached_run(spec, bench_sites, sim_window),
+        rounds=1, iterations=1)
+    attach_series(benchmark, result, "cpu")
+
+    series = dict(result.series("B", "model_cpu"))
+    # Physical range and the declining trend past the knee.
+    assert all(0.0 < v < 1.0 for v in series.values())
+    assert series[20] < series[4]
+
+    print()
+    print(render_figure_series(result, "B", "cpu", "CPU utilization"))

@@ -1,0 +1,29 @@
+"""Reproduction benchmark: Figure 7 — LB8 disk I/O rate (Node B).
+
+Model vs. simulator Total-DIO against transaction size.  Target shape:
+the disk stays the bottleneck (rate roughly flat, near the disk's
+service capacity) with a mild decline as contention rises.
+"""
+
+from repro.experiments import experiment, render_figure_series
+from repro.experiments.bench import attach_series, cached_run
+
+
+def test_bench_fig7_lb8_disk_io_rate(benchmark, bench_sites,
+                                     sim_window):
+    spec = experiment("fig7")
+    result = benchmark.pedantic(
+        lambda: cached_run(spec, bench_sites, sim_window),
+        rounds=1, iterations=1)
+    attach_series(benchmark, result, "dio")
+
+    series = dict(result.series("B", "model_dio"))
+    capacity = 1e3 / 40.0   # Node B block I/O is 40 ms -> 25 I/O/s max
+    for value in series.values():
+        assert 0.0 < value <= capacity * 1.02
+    # Disk-bound at small n: within 20% of capacity.
+    assert series[4] > 0.8 * capacity
+
+    print()
+    print(render_figure_series(result, "B", "dio",
+                               "disk I/O rate (ops/s)"))

@@ -1,0 +1,33 @@
+"""Reproduction benchmark: Figure 8 — MB4 record throughput.
+
+Normalized record throughput for the mixed local/distributed MB4
+workload at both nodes, model vs. simulator.  Cross-checked against the
+numeric per-type data of Table 5 by the tab5 benchmark.
+"""
+
+from repro.experiments import experiment, render_figure_series
+from repro.experiments.bench import attach_series, cached_run
+
+
+def test_bench_fig8_mb4_record_throughput(benchmark, bench_sites,
+                                          sim_window):
+    spec = experiment("fig8")
+    result = benchmark.pedantic(
+        lambda: cached_run(spec, bench_sites, sim_window),
+        rounds=1, iterations=1)
+    attach_series(benchmark, result, "record_xput")
+
+    for site in ("A", "B"):
+        series = dict(result.series(site, "model_record_xput"))
+        assert series[20] < series[8]     # deadlock-driven decline
+    # Node A (faster disk) leads node B at every n.
+    a = dict(result.series("A", "model_record_xput"))
+    b = dict(result.series("B", "model_record_xput"))
+    for n in a:
+        assert a[n] > b[n]
+
+    print()
+    for site in ("A", "B"):
+        print(render_figure_series(result, site, "record_xput",
+                                   "record throughput (records/s)"))
+        print()

@@ -1,0 +1,27 @@
+"""Reproduction benchmark: Figure 9 — MB4 CPU utilization.
+
+Model vs. simulator CPU utilization at both nodes for MB4.
+"""
+
+from repro.experiments import experiment, render_figure_series
+from repro.experiments.bench import attach_series, cached_run
+
+
+def test_bench_fig9_mb4_cpu_utilization(benchmark, bench_sites,
+                                        sim_window):
+    spec = experiment("fig9")
+    result = benchmark.pedantic(
+        lambda: cached_run(spec, bench_sites, sim_window),
+        rounds=1, iterations=1)
+    attach_series(benchmark, result, "cpu")
+
+    for site in ("A", "B"):
+        series = dict(result.series(site, "model_cpu"))
+        assert all(0.0 < v < 1.0 for v in series.values())
+        assert series[20] < series[4]
+
+    print()
+    for site in ("A", "B"):
+        print(render_figure_series(result, site, "cpu",
+                                   "CPU utilization"))
+        print()

@@ -1,0 +1,38 @@
+"""Reproduction benchmark: Table 3 — model vs measurement, MB8.
+
+Regenerates the paper's Table 3 with our analytical model in the
+"Modeling" role and the CARAT simulator in the "Measurement" role, and
+prints both next to the published columns.
+"""
+
+import pytest
+
+from repro.experiments import experiment, render_summary_table
+from repro.experiments.bench import attach_series, cached_run
+
+
+def test_bench_table3_mb8(benchmark, bench_sites, sim_window):
+    spec = experiment("tab3")
+    result = benchmark.pedantic(
+        lambda: cached_run(spec, bench_sites, sim_window),
+        rounds=1, iterations=1)
+    attach_series(benchmark, result, "xput")
+
+    # Quantitative reproduction targets (EXPERIMENTS.md, tab3):
+    for point in result.points:
+        paper_model = spec.paper_model[(point.n, point.site)]
+        # Throughput within 2x of the published model column.
+        assert (paper_model[0] / 2.0 <= point.model_xput
+                <= paper_model[0] * 2.0), (point.n, point.site)
+        # CPU within 0.12 absolute.
+        assert abs(point.model_cpu - paper_model[1]) < 0.12
+        # DIO within 35%.
+        assert point.model_dio == pytest.approx(paper_model[2],
+                                                rel=0.35)
+    # The calibration point reproduces CPU/DIO nearly exactly.
+    p4a = result.point(4, "A")
+    assert p4a.model_cpu == pytest.approx(0.55, abs=0.03)
+    assert p4a.model_dio == pytest.approx(35.1, rel=0.05)
+
+    print()
+    print(render_summary_table(result))

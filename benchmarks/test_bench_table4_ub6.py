@@ -1,0 +1,33 @@
+"""Reproduction benchmark: Table 4 — model vs measurement, UB6.
+
+Same layout as Table 3 for the local-intensive UB6 workload.
+"""
+
+import pytest
+
+from repro.experiments import experiment, render_summary_table
+from repro.experiments.bench import attach_series, cached_run
+
+
+def test_bench_table4_ub6(benchmark, bench_sites, sim_window):
+    spec = experiment("tab4")
+    result = benchmark.pedantic(
+        lambda: cached_run(spec, bench_sites, sim_window),
+        rounds=1, iterations=1)
+    attach_series(benchmark, result, "xput")
+
+    for point in result.points:
+        paper_model = spec.paper_model[(point.n, point.site)]
+        assert (paper_model[0] / 2.0 <= point.model_xput
+                <= paper_model[0] * 2.0), (point.n, point.site)
+        assert abs(point.model_cpu - paper_model[1]) < 0.12
+        assert point.model_dio == pytest.approx(paper_model[2],
+                                                rel=0.35)
+
+    # UB6 is local-intensive: it should slightly out-run MB8 at equal n
+    # (fewer 2PC round trips).  Checked against the published model
+    # columns' own ordering at n=8.
+    assert spec.paper_model[(8, "A")][0] >= 0.54
+
+    print()
+    print(render_summary_table(result))

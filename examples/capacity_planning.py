@@ -1,0 +1,76 @@
+"""Capacity planning with the analytical model.
+
+The point of a validated queueing model (paper §1) is answering
+what-if questions without touching the testbed.  Three classic ones:
+
+1. What does upgrading Node B's disk (RP06 40 ms -> RM05 28 ms) buy?
+2. What does a dedicated log disk buy (the paper flags the shared
+   disk as a known bottleneck of their setup)?
+3. How does throughput scale as users are added — and where does lock
+   thrashing start?
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.model import (BaseType, ChainType, WorkloadSpec, mb8,
+                         paper_sites, paper_table2, solve_model)
+
+
+def scenario_disk_upgrade() -> None:
+    print("== Scenario 1: upgrade Node B's disk to match Node A ==")
+    workload = mb8(8)
+    baseline = solve_model(workload, paper_sites())
+    upgraded_sites = paper_sites()
+    upgraded_sites["B"] = upgraded_sites["B"].with_overrides(
+        block_io_ms=28.0, costs=paper_table2("A"))
+    upgraded = solve_model(workload, upgraded_sites)
+    for label, solution in (("baseline", baseline),
+                            ("upgraded", upgraded)):
+        total = solution.total_throughput_per_s()
+        print(f"  {label:>9}: system XPUT={total:.3f}/s  "
+              f"B: {solution.site('B').transaction_throughput_per_s:.3f}/s "
+              f"(disk util {solution.site('B').disk_utilization:.2f})")
+    gain = (upgraded.total_throughput_per_s()
+            / baseline.total_throughput_per_s() - 1)
+    print(f"  -> system throughput gain: {100 * gain:.1f}%\n")
+
+
+def scenario_log_disk() -> None:
+    print("== Scenario 2: dedicated log disk ==")
+    workload = mb8(8)
+    baseline = solve_model(workload, paper_sites())
+    split_sites = {name: site.with_overrides(log_on_separate_disk=True)
+                   for name, site in paper_sites().items()}
+    split = solve_model(workload, split_sites)
+    print(f"  shared disk : XPUT(A)="
+          f"{baseline.site('A').transaction_throughput_per_s:.3f}/s")
+    print(f"  + log disk  : XPUT(A)="
+          f"{split.site('A').transaction_throughput_per_s:.3f}/s "
+          f"(log util {split.site('A').log_disk_utilization:.2f})\n")
+
+
+def scenario_user_scaling() -> None:
+    print("== Scenario 3: user scaling and the thrashing point ==")
+    print(f"  {'users/node':>10} {'XPUT(A)':>8} {'Pa(LU)':>7} "
+          f"{'disk util':>9}")
+    for scale in (1, 2, 3, 4, 6):
+        per_node = {BaseType.LRO: scale, BaseType.LU: scale,
+                    BaseType.DRO: scale, BaseType.DU: scale}
+        workload = WorkloadSpec(
+            f"MBx{scale}", {"A": per_node, "B": dict(per_node)},
+            requests_per_txn=8)
+        solution = solve_model(workload, paper_sites(),
+                               max_iterations=1500)
+        site = solution.site("A")
+        print(f"  {4 * scale:>10} "
+              f"{site.transaction_throughput_per_s:>8.3f} "
+              f"{site.chains[ChainType.LU].abort_probability:>7.3f} "
+              f"{site.disk_utilization:>9.3f}")
+    print("  -> the disk saturates early; beyond that, extra users "
+          "only add lock conflicts and rollbacks.")
+
+
+if __name__ == "__main__":
+    scenario_disk_upgrade()
+    scenario_log_disk()
+    scenario_user_scaling()

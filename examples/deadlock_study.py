@@ -1,0 +1,45 @@
+"""Deadlock study: how transaction size drives rollback (paper §6).
+
+Sweeps the transaction size n on the MB8 workload and reports, side by
+side, the model's abort probabilities and the simulator's observed
+lock waits and local/global deadlocks.  This is the mechanism behind
+the normalized-throughput knee in Figures 5 and 8.
+
+Run:  python examples/deadlock_study.py
+"""
+
+from repro.model import ChainType, mb8, paper_sites, solve_model
+from repro.testbed import simulate
+
+
+def main() -> None:
+    sites = paper_sites()
+    print("MB8 sweep: model contention estimates vs simulated "
+          "deadlock counts (node A)\n")
+    header = (f"{'n':>3} | {'Pb(LU)':>7} {'Pd(LU)':>7} {'Pa(LU)':>7} "
+              f"{'N_s(LU)':>7} | {'waits':>6} {'local':>6} "
+              f"{'global':>6} {'aborts':>6}")
+    print(header)
+    print("-" * len(header))
+    for n in (4, 8, 12, 16, 20):
+        model = solve_model(mb8(n), sites, max_iterations=1000)
+        lu = model.site("A").chains[ChainType.LU]
+        sim = simulate(mb8(n), sites, seed=37, warmup_ms=20_000.0,
+                       duration_ms=240_000.0)
+        site = sim.site("A")
+        aborts = sum(site.aborts_by_type.values())
+        print(f"{n:>3} | {lu.lock_state.blocking:>7.4f} "
+              f"{lu.lock_state.deadlock_victim:>7.4f} "
+              f"{lu.abort_probability:>7.3f} "
+              f"{lu.n_submissions:>7.2f} | "
+              f"{site.lock_waits:>6d} {site.local_deadlocks:>6d} "
+              f"{site.global_deadlocks:>6d} {aborts:>6d}")
+    print("\nReading: blocking probability grows roughly linearly "
+          "with n, but the\nabort probability grows with the *square* "
+          "(locks held x locks requested),\nwhich is why long "
+          "transactions collapse. Global deadlocks stay rarer than\n"
+          "local ones, as the paper assumes in §5.4.3.")
+
+
+if __name__ == "__main__":
+    main()

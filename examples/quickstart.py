@@ -1,0 +1,50 @@
+"""Quickstart: solve the paper's model and validate it against the
+CARAT simulator, exactly like paper §6 validates against the testbed.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.model import mb8, paper_sites, solve_model
+from repro.testbed import simulate
+
+
+def main() -> None:
+    workload = mb8(8)           # MB8 workload, n = 8 requests/txn
+    sites = paper_sites()       # the two VAX nodes of Table 2
+
+    print(f"== {workload.name}, n={workload.requests_per_txn} ==\n")
+
+    # --- analytical model (milliseconds in, seconds out) -------------
+    model = solve_model(workload, sites)
+    print(f"model converged in {model.iterations} iterations "
+          f"(residual {model.residual:.1e})\n")
+
+    # --- testbed simulator (the paper's "measurement" role) ----------
+    measurement = simulate(workload, sites, seed=7,
+                           warmup_ms=30_000.0, duration_ms=300_000.0)
+
+    header = (f"{'node':>4} | {'':>12} {'TR-XPUT':>8} {'Total-CPU':>9} "
+              f"{'Total-DIO':>9}")
+    print(header)
+    print("-" * len(header))
+    for node in sites:
+        m = model.site(node)
+        s = measurement.site(node)
+        print(f"{node:>4} | {'model':>12} "
+              f"{m.transaction_throughput_per_s:>8.3f} "
+              f"{m.cpu_utilization:>9.3f} {m.dio_rate_per_s:>9.1f}")
+        print(f"{'':>4} | {'simulator':>12} "
+              f"{s.transaction_throughput_per_s:>8.3f} "
+              f"{s.cpu_utilization:>9.3f} {s.dio_rate_per_s:>9.1f}")
+
+    print("\nPer-chain model detail (node A):")
+    for chain, result in sorted(model.site("A").chains.items(),
+                                key=lambda kv: kv[0].value):
+        print(f"  {chain.value:>5}: X={result.throughput_per_s:.3f}/s "
+              f"R={result.cycle_response_ms / 1e3:.2f}s "
+              f"P_abort={result.abort_probability:.3f} "
+              f"N_s={result.n_submissions:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Which parameters actually matter?  (paper §1's measurement gap)
+
+The paper's opening complaint is that "the resource requirements for
+the basic components of concurrency control and recovery algorithms
+are not well known", so models guess them.  A validated model lets us
+ask the reverse question: which inputs would have been worth measuring
+carefully?  This example computes throughput elasticities for the
+main Table 2 entries and protocol constants.
+
+Run:  python examples/sensitivity_analysis.py
+"""
+
+from repro.experiments import (elasticity, sweep_basic_cost,
+                               sweep_protocol_field, sweep_site_field)
+from repro.model import BaseType, mb8, paper_sites
+
+
+def main() -> None:
+    workload = mb8(8)
+    sites = paper_sites()
+    print(f"Throughput elasticities, {workload.name} n="
+          f"{workload.requests_per_txn}, node A")
+    print("(log-log slope: 0 = irrelevant, -1 = inversely "
+          "proportional)\n")
+
+    sweeps = [
+        ("disk block time", sweep_site_field(
+            workload, sites, "block_io_ms", [20.0, 28.0, 40.0])),
+        ("database size (granules)", sweep_site_field(
+            workload, sites, "granules", [1500, 3000, 6000])),
+        ("LU update I/O (dmio_disk)", sweep_basic_cost(
+            workload, sites, BaseType.LU, "dmio_disk",
+            [60.0, 84.0, 120.0])),
+        ("TM message CPU (LRO row)", sweep_basic_cost(
+            workload, sites, BaseType.LRO, "tm_cpu",
+            [5.0, 8.0, 16.0])),
+        ("user CPU per request", sweep_basic_cost(
+            workload, sites, BaseType.LRO, "u_cpu",
+            [4.0, 7.8, 16.0])),
+        ("commit bookkeeping CPU", sweep_protocol_field(
+            workload, sites, "commit_cpu", [3.0, 6.0, 12.0])),
+    ]
+    for label, result in sweeps:
+        slope = elasticity(result, "A")
+        bar = "#" * min(40, int(abs(slope) * 40))
+        print(f"  {label:<28} {slope:+6.3f}  {bar}")
+
+    print("\nReading: with the shared disk saturated, the disk "
+          "parameters dominate\n(elasticities near -1 for block time "
+          "and the LU I/O cost) while the CPU\ncosts barely move the "
+          "needle — matching the paper's observation that the\n"
+          "single shared disk was the testbed's bottleneck (§2).")
+
+
+if __name__ == "__main__":
+    main()

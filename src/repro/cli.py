@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro`` / ``carat-qnm``.
+
+Subcommands
+-----------
+``model``
+    Solve the analytical model for one workload and print the site
+    measures.
+``simulate``
+    Run the CARAT testbed simulator for one workload.
+``experiment``
+    Reproduce one of the paper's tables/figures (model + simulator)
+    and print the comparison table.
+``list``
+    List the available experiments and workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (EXPERIMENTS, experiment,
+                               render_figure_series, render_per_type_table,
+                               render_summary_table, run_experiment)
+from repro.model.parameters import paper_sites
+from repro.model.solver import solve_model
+from repro.model.workload import STANDARD_WORKLOADS
+from repro.testbed.system import simulate
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="carat-qnm",
+        description="Queueing network model and simulator for the CARAT "
+                    "distributed database testbed (Jenq/Kohler/Towsley, "
+                    "ICDE 1987).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    model = sub.add_parser("model", help="solve the analytical model")
+    _workload_args(model)
+
+    sim = sub.add_parser("simulate", help="run the testbed simulator")
+    _workload_args(sim)
+    sim.add_argument("--seed", type=int, default=7)
+    sim.add_argument("--duration-s", type=float, default=600.0,
+                     help="measured simulated seconds")
+    sim.add_argument("--warmup-s", type=float, default=60.0)
+
+    exp = sub.add_parser("experiment",
+                         help="reproduce one table/figure of the paper")
+    exp.add_argument("exp_id", choices=sorted(EXPERIMENTS))
+    exp.add_argument("--quick", action="store_true",
+                     help="short simulation window (smoke test)")
+    exp.add_argument("--model-only", action="store_true",
+                     help="skip the simulator")
+
+    report = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md (all artifacts)")
+    report.add_argument("--quick", action="store_true")
+    report.add_argument("--output", default="EXPERIMENTS.md")
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="re-fit the protocol cost constants (DESIGN.md §4.3)")
+    calibrate.add_argument("--evaluations", type=int, default=60)
+
+    sensitivity = sub.add_parser(
+        "sensitivity",
+        help="sweep one site parameter and report the elasticity")
+    _workload_args(sensitivity)
+    sensitivity.add_argument(
+        "--field", default="block_io_ms",
+        choices=["block_io_ms", "granules", "records_per_granule"])
+    sensitivity.add_argument("--values", type=float, nargs="+",
+                             default=None,
+                             help="sweep values (default: 0.7x/1x/1.5x "
+                                  "of the paper's setting)")
+
+    export = sub.add_parser(
+        "export", help="export one experiment's sweep as CSV")
+    export.add_argument("exp_id", choices=sorted(EXPERIMENTS))
+    export.add_argument("--output", default="-",
+                        help="file path or '-' for stdout")
+    export.add_argument("--model-only", action="store_true")
+    export.add_argument("--quick", action="store_true")
+
+    sub.add_parser("list", help="list experiments and workloads")
+    return parser
+
+
+def _workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", choices=sorted(STANDARD_WORKLOADS),
+                        default="MB8")
+    parser.add_argument("-n", "--requests", type=int, default=8,
+                        help="requests per transaction (paper: 4..20)")
+
+
+def _cmd_model(args) -> int:
+    workload = STANDARD_WORKLOADS[args.workload](args.requests)
+    solution = solve_model(workload, paper_sites(), max_iterations=1000)
+    print(f"workload {workload.name}, n={args.requests} "
+          f"(converged in {solution.iterations} iterations)")
+    for name, site in sorted(solution.sites.items()):
+        print(f"  node {name}: TR-XPUT={site.transaction_throughput_per_s:.3f}/s "
+              f"Total-CPU={site.cpu_utilization:.3f} "
+              f"Total-DIO={site.dio_rate_per_s:.1f}/s "
+              f"records/s={site.record_throughput_per_s:.1f}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    workload = STANDARD_WORKLOADS[args.workload](args.requests)
+    measurement = simulate(
+        workload, paper_sites(), seed=args.seed,
+        warmup_ms=args.warmup_s * 1e3,
+        duration_ms=args.duration_s * 1e3)
+    print(f"workload {workload.name}, n={args.requests}, "
+          f"seed={args.seed}")
+    for name, site in sorted(measurement.sites.items()):
+        aborts = sum(site.aborts_by_type.values())
+        print(f"  node {name}: TR-XPUT={site.transaction_throughput_per_s:.3f}/s "
+              f"Total-CPU={site.cpu_utilization:.3f} "
+              f"Total-DIO={site.dio_rate_per_s:.1f}/s "
+              f"aborts={aborts} "
+              f"deadlocks={site.local_deadlocks}L+{site.global_deadlocks}G")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    spec = experiment(args.exp_id)
+    duration = 120_000.0 if args.quick else 600_000.0
+    result = run_experiment(
+        spec, sim_duration_ms=duration,
+        sim_warmup_ms=duration / 10,
+        run_simulation=not args.model_only)
+    if args.exp_id == "tab5":
+        print(render_per_type_table(result))
+    elif args.exp_id.startswith("fig"):
+        from repro.experiments.plots import figure_chart
+        metric = {"fig5": "record_xput", "fig6": "cpu", "fig7": "dio",
+                  "fig8": "record_xput", "fig9": "cpu",
+                  "fig10": "dio"}[args.exp_id]
+        for site in spec.sites_of_interest:
+            print(render_figure_series(result, site, metric, metric))
+            print()
+            print(figure_chart(result, site, metric, spec.title).text)
+            print()
+    else:
+        print(render_summary_table(result))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.emit import main as emit_main
+    argv = ["--output", args.output]
+    if args.quick:
+        argv.append("--quick")
+    return emit_main(argv)
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.model.calibration import calibrate_protocol
+    result = calibrate_protocol(max_evaluations=args.evaluations)
+    print(f"objective {result.objective:.4f} after "
+          f"{result.iterations} model solves")
+    protocol = result.protocol
+    print(f"  tbegin_cpu          = {protocol.tbegin_cpu:.1f} ms")
+    print(f"  dbopen_cpu_per_site = {protocol.dbopen_cpu_per_site:.1f} ms")
+    print(f"  commit_cpu          = {protocol.commit_cpu:.1f} ms")
+    for site, (xput_r, cpu_r, dio_r) in result.residuals.items():
+        print(f"  node {site}: XPUT {100 * xput_r:+.1f}%  "
+              f"CPU {100 * cpu_r:+.1f}%  DIO {100 * dio_r:+.1f}%")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.experiments.export import experiment_to_csv
+    spec = experiment(args.exp_id)
+    duration = 120_000.0 if args.quick else 600_000.0
+    result = run_experiment(
+        spec, sim_duration_ms=duration, sim_warmup_ms=duration / 10,
+        run_simulation=not args.model_only)
+    text = experiment_to_csv(result, per_type=args.exp_id == "tab5")
+    if args.output == "-":
+        print(text, end="")
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_sensitivity(args) -> int:
+    from repro.experiments.sensitivity import (elasticity,
+                                               sweep_site_field)
+    workload = STANDARD_WORKLOADS[args.workload](args.requests)
+    sites = paper_sites()
+    values = args.values
+    if values is None:
+        baseline = getattr(sites["A"], args.field)
+        values = [0.7 * baseline, float(baseline), 1.5 * baseline]
+    result = sweep_site_field(workload, sites, args.field, values)
+    print(f"sensitivity of {workload.name} (n={args.requests}) to "
+          f"site.{args.field}:")
+    for point in result.points:
+        xput = ", ".join(f"{s}={x:.3f}"
+                         for s, x in sorted(
+                             point.throughput_per_s.items()))
+        print(f"  {args.field}={point.value:g}: XPUT {xput}")
+    print(f"  elasticity (node A): {elasticity(result, 'A'):+.3f}")
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    print("experiments:")
+    for exp_id, spec in sorted(EXPERIMENTS.items()):
+        print(f"  {exp_id:>6}  {spec.title}")
+    print("workloads:", ", ".join(sorted(STANDARD_WORKLOADS)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "model": _cmd_model,
+        "simulate": _cmd_simulate,
+        "experiment": _cmd_experiment,
+        "report": _cmd_report,
+        "calibrate": _cmd_calibrate,
+        "sensitivity": _cmd_sensitivity,
+        "export": _cmd_export,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

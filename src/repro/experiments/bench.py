@@ -1,0 +1,61 @@
+"""Helpers used by the reproduction benchmarks in ``benchmarks/``.
+
+Kept inside the package (rather than the benchmark tree) so benchmark
+modules can import them regardless of how pytest sets up ``sys.path``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult, ExperimentSpec, \
+    run_experiment
+
+__all__ = ["run_repro", "cached_run", "attach_series", "shape_checks"]
+
+#: Cache of full sweep results shared by benchmarks that render
+#: different metrics of the same workload sweep (e.g. Figures 5-7 all
+#: come from one LB8 sweep; re-simulating per figure would triple the
+#: cost without adding information).
+_CACHE: dict = {}
+
+
+def cached_run(spec: ExperimentSpec, sites, window) -> ExperimentResult:
+    """Like :func:`run_repro` but cached per (workload, sweep, window)."""
+    key = (spec.workload_factory(spec.sweep[0]).name, spec.sweep, window)
+    if key not in _CACHE:
+        _CACHE[key] = run_repro(spec, sites, window)
+    return _CACHE[key]
+
+
+def run_repro(spec: ExperimentSpec, sites, window,
+              run_simulation: bool = True,
+              **model_kwargs) -> ExperimentResult:
+    """Run one experiment sweep with a benchmark-selected window."""
+    warmup, duration = window
+    return run_experiment(
+        spec, sites=sites, sim_warmup_ms=warmup,
+        sim_duration_ms=duration, run_simulation=run_simulation,
+        model_kwargs=model_kwargs or None)
+
+
+def attach_series(benchmark, result: ExperimentResult,
+                  metric: str) -> None:
+    """Record the model/sim series in the benchmark's extra info."""
+    info = {}
+    for site in result.spec.sites_of_interest:
+        info[f"model_{site}"] = result.series(site, f"model_{metric}")
+        info[f"sim_{site}"] = result.series(site, f"sim_{metric}")
+    benchmark.extra_info.update(info)
+
+
+def shape_checks(result: ExperimentResult, metric: str = "xput") -> None:
+    """Assert the qualitative reproduction targets shared by every
+    throughput artifact: positive values everywhere, and a monotone
+    decline of throughput with transaction size per site."""
+    for point in result.points:
+        assert getattr(point, f"model_{metric}") > 0.0
+    if metric != "xput":
+        return
+    for site in result.spec.sites_of_interest:
+        series = [v for _n, v in result.series(site, "model_xput")]
+        assert series == sorted(series, reverse=True), (
+            f"model throughput not monotone at {site}: {series}")

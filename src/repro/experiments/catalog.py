@@ -1,0 +1,118 @@
+"""Catalog of the paper's tables and figures, with published numbers.
+
+Tables 3–5 are transcribed verbatim from the paper.  Figures 5–10 are
+published only as plots, so their specs carry no reference numbers;
+EXPERIMENTS.md records the qualitative reproduction targets instead.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentSpec
+from repro.model.workload import lb8, mb4, mb8, ub6
+
+__all__ = ["EXPERIMENTS", "experiment", "PAPER_TABLE3", "PAPER_TABLE4",
+           "PAPER_TABLE5"]
+
+# Table 3 (MB8): {(n, node): (TR-XPUT, Total-CPU, Total-DIO)}.
+PAPER_TABLE3_MEASURED = {
+    (4, "A"): (0.94, 0.45, 28.9), (4, "B"): (0.72, 0.36, 21.9),
+    (8, "A"): (0.45, 0.36, 28.1), (8, "B"): (0.39, 0.32, 23.2),
+    (12, "A"): (0.23, 0.31, 26.3), (12, "B"): (0.21, 0.27, 22.5),
+    (16, "A"): (0.15, 0.26, 23.4), (16, "B"): (0.12, 0.25, 23.0),
+    (20, "A"): (0.09, 0.27, 23.9), (20, "B"): (0.08, 0.26, 23.8),
+}
+PAPER_TABLE3_MODEL = {
+    (4, "A"): (1.11, 0.55, 35.1), (4, "B"): (0.79, 0.42, 25.0),
+    (8, "A"): (0.54, 0.45, 32.8), (8, "B"): (0.41, 0.36, 24.6),
+    (12, "A"): (0.27, 0.33, 27.5), (12, "B"): (0.23, 0.29, 22.6),
+    (16, "A"): (0.14, 0.26, 25.6), (16, "B"): (0.13, 0.23, 21.4),
+    (20, "A"): (0.09, 0.27, 30.8), (20, "B"): (0.08, 0.22, 23.6),
+}
+PAPER_TABLE3 = {"measured": PAPER_TABLE3_MEASURED,
+                "model": PAPER_TABLE3_MODEL}
+
+# Table 4 (UB6).
+PAPER_TABLE4_MEASURED = {
+    (4, "A"): (0.99, 0.44, 29.6), (4, "B"): (0.70, 0.33, 20.9),
+    (8, "A"): (0.53, 0.38, 30.9), (8, "B"): (0.39, 0.30, 23.2),
+    (12, "A"): (0.27, 0.31, 28.2), (12, "B"): (0.21, 0.25, 22.7),
+    (16, "A"): (0.15, 0.27, 27.0), (16, "B"): (0.14, 0.23, 22.0),
+    (20, "A"): (0.10, 0.25, 24.9), (20, "B"): (0.08, 0.22, 21.3),
+}
+PAPER_TABLE4_MODEL = {
+    (4, "A"): (1.13, 0.51, 35.1), (4, "B"): (0.81, 0.39, 24.9),
+    (8, "A"): (0.56, 0.44, 33.7), (8, "B"): (0.42, 0.34, 24.6),
+    (12, "A"): (0.32, 0.35, 30.2), (12, "B"): (0.24, 0.28, 23.1),
+    (16, "A"): (0.17, 0.28, 27.9), (16, "B"): (0.14, 0.23, 21.8),
+    (20, "A"): (0.10, 0.26, 30.2), (20, "B"): (0.08, 0.21, 22.8),
+}
+PAPER_TABLE4 = {"measured": PAPER_TABLE4_MEASURED,
+                "model": PAPER_TABLE4_MODEL}
+
+# Table 5 (MB4, per-type throughput): {(n, type): (A, B)} per column set.
+PAPER_TABLE5_MEASURED = {
+    (4, "LRO"): (0.39, 0.25), (4, "LU"): (0.19, 0.11),
+    (4, "DRO"): (0.22, 0.22), (4, "DU"): (0.11, 0.11),
+    (8, "LRO"): (0.20, 0.13), (8, "LU"): (0.10, 0.07),
+    (8, "DRO"): (0.14, 0.14), (8, "DU"): (0.07, 0.06),
+    (12, "LRO"): (0.11, 0.08), (12, "LU"): (0.06, 0.04),
+    (12, "DRO"): (0.09, 0.08), (12, "DU"): (0.04, 0.03),
+    (16, "LRO"): (0.07, 0.05), (16, "LU"): (0.04, 0.03),
+    (16, "DRO"): (0.05, 0.07), (16, "DU"): (0.03, 0.02),
+    (20, "LRO"): (0.05, 0.04), (20, "LU"): (0.02, 0.02),
+    (20, "DRO"): (0.04, 0.04), (20, "DU"): (0.02, 0.01),
+}
+PAPER_TABLE5_MODEL = {
+    (4, "LRO"): (0.46, 0.29), (4, "LU"): (0.21, 0.12),
+    (4, "DRO"): (0.25, 0.25), (4, "DU"): (0.11, 0.11),
+    (8, "LRO"): (0.22, 0.14), (8, "LU"): (0.11, 0.06),
+    (8, "DRO"): (0.14, 0.14), (8, "DU"): (0.06, 0.06),
+    (12, "LRO"): (0.12, 0.08), (12, "LU"): (0.06, 0.04),
+    (12, "DRO"): (0.09, 0.09), (12, "DU"): (0.04, 0.04),
+    (16, "LRO"): (0.07, 0.05), (16, "LU"): (0.03, 0.02),
+    (16, "DRO"): (0.06, 0.06), (16, "DU"): (0.03, 0.03),
+    (20, "LRO"): (0.04, 0.03), (20, "LU"): (0.01, 0.01),
+    (20, "DRO"): (0.04, 0.04), (20, "DU"): (0.02, 0.02),
+}
+PAPER_TABLE5 = {"measured": PAPER_TABLE5_MEASURED,
+                "model": PAPER_TABLE5_MODEL}
+
+
+def _spec(exp_id, title, factory, sites=("A", "B"), paper=None):
+    paper = paper or {}
+    return ExperimentSpec(
+        exp_id=exp_id, title=title, workload_factory=factory,
+        sites_of_interest=sites,
+        paper_model=paper.get("model", {}),
+        paper_measured=paper.get("measured", {}),
+    )
+
+
+EXPERIMENTS = {
+    "fig5": _spec("fig5", "Figure 5: LB8 record throughput (Node B)",
+                  lb8, sites=("B",)),
+    "fig6": _spec("fig6", "Figure 6: LB8 CPU utilization (Node B)",
+                  lb8, sites=("B",)),
+    "fig7": _spec("fig7", "Figure 7: LB8 disk I/O rate (Node B)",
+                  lb8, sites=("B",)),
+    "fig8": _spec("fig8", "Figure 8: MB4 record throughput", mb4),
+    "fig9": _spec("fig9", "Figure 9: MB4 CPU utilization", mb4),
+    "fig10": _spec("fig10", "Figure 10: MB4 disk I/O rate", mb4),
+    "tab3": _spec("tab3", "Table 3: model vs measurement (MB8)", mb8,
+                  paper=PAPER_TABLE3),
+    "tab4": _spec("tab4", "Table 4: model vs measurement (UB6)", ub6,
+                  paper=PAPER_TABLE4),
+    "tab5": _spec("tab5", "Table 5: per-type throughput (MB4)", mb4,
+                  paper=PAPER_TABLE5),
+}
+
+
+def experiment(exp_id: str) -> ExperimentSpec:
+    """Look up an experiment spec by id (KeyError with the valid ids)."""
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; valid ids: "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None

@@ -1,0 +1,91 @@
+"""CSV export of experiment results.
+
+Researchers comparing against this reproduction usually want the raw
+series, not our rendered tables.  :func:`experiment_to_csv` writes one
+row per (n, site) with every model/simulator measure, and
+:func:`paper_reference_to_csv` dumps the transcribed published numbers
+so downstream analysis never needs to re-type them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.experiments.runner import ExperimentResult
+from repro.model.types import BaseType
+
+__all__ = ["experiment_to_csv", "paper_reference_to_csv"]
+
+_SUMMARY_FIELDS = [
+    "exp_id", "n", "site",
+    "model_xput", "model_record_xput", "model_cpu", "model_dio",
+    "sim_xput", "sim_record_xput", "sim_cpu", "sim_dio",
+    "sim_aborts_per_commit",
+]
+
+
+def experiment_to_csv(result: ExperimentResult,
+                      per_type: bool = False) -> str:
+    """Render a result as CSV text.
+
+    ``per_type=True`` adds one column pair per base transaction type
+    (Table 5 layout); otherwise the summary measures only.
+    """
+    fields = list(_SUMMARY_FIELDS)
+    if per_type:
+        for base in BaseType:
+            fields += [f"model_{base.value}_xput",
+                       f"sim_{base.value}_xput"]
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fields,
+                            lineterminator="\n")
+    writer.writeheader()
+    for point in result.points:
+        row = {
+            "exp_id": result.spec.exp_id,
+            "n": point.n,
+            "site": point.site,
+            "model_xput": f"{point.model_xput:.6g}",
+            "model_record_xput": f"{point.model_record_xput:.6g}",
+            "model_cpu": f"{point.model_cpu:.6g}",
+            "model_dio": f"{point.model_dio:.6g}",
+            "sim_xput": f"{point.sim_xput:.6g}",
+            "sim_record_xput": f"{point.sim_record_xput:.6g}",
+            "sim_cpu": f"{point.sim_cpu:.6g}",
+            "sim_dio": f"{point.sim_dio:.6g}",
+            "sim_aborts_per_commit":
+                f"{point.sim_aborts_per_commit:.6g}",
+        }
+        if per_type:
+            for base in BaseType:
+                row[f"model_{base.value}_xput"] = \
+                    f"{point.model_by_type.get(base, 0.0):.6g}"
+                row[f"sim_{base.value}_xput"] = \
+                    f"{point.sim_by_type.get(base, 0.0):.6g}"
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def paper_reference_to_csv(result: ExperimentResult) -> str:
+    """CSV of the published model/measured columns attached to a spec
+    (empty string when the artifact is an image-only figure)."""
+    spec = result.spec
+    if not spec.paper_model:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    first_key = next(iter(spec.paper_model))
+    if isinstance(first_key[1], str) and first_key[1] in ("A", "B"):
+        writer.writerow(["n", "site", "column", "xput", "cpu", "dio"])
+        for column, table in (("model", spec.paper_model),
+                              ("measured", spec.paper_measured)):
+            for (n, site), (xput, cpu, dio) in sorted(table.items()):
+                writer.writerow([n, site, column, xput, cpu, dio])
+    else:
+        writer.writerow(["n", "type", "column", "xput_A", "xput_B"])
+        for column, table in (("model", spec.paper_model),
+                              ("measured", spec.paper_measured)):
+            for (n, type_name), (a, b) in sorted(table.items()):
+                writer.writerow([n, type_name, column, a, b])
+    return buffer.getvalue()

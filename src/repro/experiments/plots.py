@@ -1,0 +1,116 @@
+"""ASCII line charts for the paper's figures.
+
+The paper's Figures 5–10 are x/y plots of model vs. measurement against
+transaction size.  matplotlib is not a dependency of this package, so
+the CLI renders terminal charts: one column per swept ``n``, model
+series drawn with ``m``, simulator series with ``s`` (``*`` where the
+two overlap at the chart's resolution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AsciiChart", "render_chart", "figure_chart"]
+
+
+@dataclass(frozen=True)
+class AsciiChart:
+    """A rendered chart plus its scale metadata."""
+
+    text: str
+    y_max: float
+    y_min: float
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+def render_chart(
+    series: dict[str, list[tuple[float, float]]],
+    title: str = "",
+    height: int = 12,
+    y_label: str = "",
+    markers: dict[str, str] | None = None,
+) -> AsciiChart:
+    """Render one or more (x, y) series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        ``{name: [(x, y), ...]}``; every series must share the same x
+        values (the sweep).
+    height:
+        Chart rows (excluding axes).
+    markers:
+        Per-series plot characters; defaults to the first letter of
+        each series name.  Overlaps render as ``*``.
+    """
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    names = list(series)
+    xs = [x for x, _y in series[names[0]]]
+    if not xs:
+        raise ConfigurationError("series are empty")
+    for name in names[1:]:
+        if [x for x, _y in series[name]] != xs:
+            raise ConfigurationError(
+                "all series must share the same x values")
+    if height < 2:
+        raise ConfigurationError("chart height must be >= 2")
+
+    markers = markers or {name: name[0] for name in names}
+    values = [y for name in names for _x, y in series[name]]
+    y_max = max(values)
+    y_min = min(0.0, min(values))
+    span = y_max - y_min or 1.0
+
+    # One column per x value, padded for readability.
+    col_width = max(6, max(len(f"{x:g}") for x in xs) + 2)
+    grid = [[" "] * (col_width * len(xs)) for _ in range(height)]
+
+    def row_of(y: float) -> int:
+        frac = (y - y_min) / span
+        return min(height - 1, max(0, int(round(frac * (height - 1)))))
+
+    for name in names:
+        mark = markers.get(name, name[0])
+        for i, (_x, y) in enumerate(series[name]):
+            row = height - 1 - row_of(y)
+            col = i * col_width + col_width // 2
+            current = grid[row][col]
+            grid[row][col] = "*" if current not in (" ", mark) else mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"({y_label})")
+    for row_index, row in enumerate(grid):
+        y_tick = y_max - span * row_index / (height - 1)
+        lines.append(f"{y_tick:8.2f} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * (col_width * len(xs)))
+    x_axis = " " * 9
+    for x in xs:
+        x_axis += f"{x:^{col_width}g}"
+    lines.append(x_axis)
+    legend = "  legend: " + ", ".join(
+        f"{markers.get(name, name[0])}={name}" for name in names)
+    lines.append(legend + "  (* = overlap)")
+    return AsciiChart(text="\n".join(lines), y_max=y_max, y_min=y_min)
+
+
+def figure_chart(result, site: str, metric: str, title: str,
+                 height: int = 12) -> AsciiChart:
+    """Chart one experiment figure: model vs simulator at one site."""
+    model = result.series(site, f"model_{metric}")
+    sim = result.series(site, f"sim_{metric}")
+    return render_chart(
+        {"model": [(float(n), v) for n, v in model],
+         "sim": [(float(n), v) for n, v in sim]},
+        title=f"{title} — node {site}",
+        height=height,
+        markers={"model": "m", "sim": "s"},
+    )

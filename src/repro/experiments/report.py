@@ -1,0 +1,97 @@
+"""Rendering of experiment results as ASCII/markdown tables.
+
+The table layout mirrors the paper's Tables 3–5 with our simulator in
+the "Measurement" role and, when the paper published numbers, the
+published columns alongside.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+from repro.model.types import BaseType
+
+__all__ = ["render_summary_table", "render_per_type_table",
+           "render_figure_series"]
+
+
+def _fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"
+
+
+def render_summary_table(result: ExperimentResult) -> str:
+    """Render XPUT/CPU/DIO rows (Tables 3 and 4 layout)."""
+    spec = result.spec
+    lines = [spec.title, ""]
+    header = (f"{'n':>3} {'node':>4} | {'sim-XPUT':>8} {'sim-CPU':>7} "
+              f"{'sim-DIO':>7} | {'mod-XPUT':>8} {'mod-CPU':>7} "
+              f"{'mod-DIO':>7}")
+    has_paper = bool(spec.paper_model)
+    if has_paper:
+        header += (f" | {'pap-meas':>24} | {'pap-model':>24}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for point in result.points:
+        row = (f"{point.n:>3} {point.site:>4} | "
+               f"{_fmt(point.sim_xput):>8} {_fmt(point.sim_cpu):>7} "
+               f"{_fmt(point.sim_dio, 1):>7} | "
+               f"{_fmt(point.model_xput):>8} {_fmt(point.model_cpu):>7} "
+               f"{_fmt(point.model_dio, 1):>7}")
+        if has_paper:
+            key = (point.n, point.site)
+            meas = spec.paper_measured.get(key)
+            model = spec.paper_model.get(key)
+            row += " | " + (f"{meas[0]:>7} {meas[1]:>7} {meas[2]:>8}"
+                            if meas else " " * 24)
+            row += " | " + (f"{model[0]:>7} {model[1]:>7} {model[2]:>8}"
+                            if model else " " * 24)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_per_type_table(result: ExperimentResult) -> str:
+    """Render per-type throughput rows (Table 5 layout)."""
+    spec = result.spec
+    lines = [spec.title, ""]
+    header = (f"{'n':>3} {'type':>4} | {'sim-A':>6} {'sim-B':>6} | "
+              f"{'mod-A':>6} {'mod-B':>6}")
+    has_paper = bool(spec.paper_model)
+    if has_paper:
+        header += f" | {'papM-A':>6} {'papM-B':>6} | {'pap-A':>6} {'pap-B':>6}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    ns = sorted({p.n for p in result.points})
+    for n in ns:
+        point_a = result.point(n, "A")
+        point_b = result.point(n, "B")
+        for base in (BaseType.LRO, BaseType.LU, BaseType.DRO, BaseType.DU):
+            row = (f"{n:>3} {base.value:>4} | "
+                   f"{_fmt(point_a.sim_by_type.get(base, 0.0)):>6} "
+                   f"{_fmt(point_b.sim_by_type.get(base, 0.0)):>6} | "
+                   f"{_fmt(point_a.model_by_type.get(base, 0.0)):>6} "
+                   f"{_fmt(point_b.model_by_type.get(base, 0.0)):>6}")
+            if has_paper:
+                meas = spec.paper_measured.get((n, base.value))
+                model = spec.paper_model.get((n, base.value))
+                row += " | " + (f"{meas[0]:>6} {meas[1]:>6}"
+                                if meas else " " * 13)
+                row += " | " + (f"{model[0]:>6} {model[1]:>6}"
+                                if model else " " * 13)
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def render_figure_series(result: ExperimentResult, site: str,
+                         metric: str, label: str) -> str:
+    """Render one figure as two aligned series (model vs simulator)."""
+    model_attr = f"model_{metric}"
+    sim_attr = f"sim_{metric}"
+    lines = [f"{result.spec.title} — {label} at node {site}", ""]
+    lines.append(f"{'n':>3} | {'simulator':>10} | {'model':>10}")
+    lines.append("-" * 31)
+    for point in result.points:
+        if point.site != site:
+            continue
+        lines.append(f"{point.n:>3} | "
+                     f"{getattr(point, sim_attr):>10.2f} | "
+                     f"{getattr(point, model_attr):>10.2f}")
+    return "\n".join(lines)

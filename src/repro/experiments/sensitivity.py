@@ -1,0 +1,162 @@
+"""Parameter sensitivity analysis for the analytical model.
+
+The paper's model has two kinds of inputs: the measured Table 2 costs
+and the derived protocol constants.  This module sweeps any of them and
+reports how the headline measures move, which is how a modeler decides
+which parameters deserve careful measurement (paper §1's complaint that
+"resource requirements ... are not well known").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.model.parameters import ProtocolCosts, SiteParameters
+from repro.model.solver import solve_model
+from repro.model.types import BaseType
+from repro.model.workload import WorkloadSpec
+
+__all__ = ["SensitivityPoint", "SensitivityResult", "sweep_site_field",
+           "sweep_protocol_field", "sweep_basic_cost", "elasticity"]
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Model measures at one parameter value."""
+
+    value: float
+    throughput_per_s: dict[str, float]
+    cpu_utilization: dict[str, float]
+    dio_rate_per_s: dict[str, float]
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """A full one-parameter sweep."""
+
+    parameter: str
+    points: tuple[SensitivityPoint, ...]
+
+    def series(self, site: str) -> list[tuple[float, float]]:
+        """(value, throughput) pairs for one site."""
+        return [(p.value, p.throughput_per_s[site]) for p in self.points]
+
+
+def _solve(workload: WorkloadSpec,
+           sites: dict[str, SiteParameters]) -> dict:
+    solution = solve_model(workload, sites, max_iterations=1500,
+                           raise_on_nonconvergence=False)
+    return {
+        "throughput": {name: s.transaction_throughput_per_s
+                       for name, s in solution.sites.items()},
+        "cpu": {name: s.cpu_utilization
+                for name, s in solution.sites.items()},
+        "dio": {name: s.dio_rate_per_s
+                for name, s in solution.sites.items()},
+    }
+
+
+def sweep_site_field(
+    workload: WorkloadSpec,
+    sites: dict[str, SiteParameters],
+    field: str,
+    values: list[float],
+) -> SensitivityResult:
+    """Sweep one :class:`SiteParameters` field (e.g. ``block_io_ms``,
+    ``granules``) at every site simultaneously."""
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    points = []
+    for value in values:
+        if field == "block_io_ms":
+            # Disk speed must rescale the Table 2 DMIO costs too.
+            swept = {name: site.with_block_io(value)
+                     for name, site in sites.items()}
+        else:
+            cast = int(value) if field in ("granules",
+                                           "records_per_granule") \
+                else value
+            swept = {name: site.with_overrides(**{field: cast})
+                     for name, site in sites.items()}
+        measures = _solve(workload, swept)
+        points.append(SensitivityPoint(
+            value=float(value),
+            throughput_per_s=measures["throughput"],
+            cpu_utilization=measures["cpu"],
+            dio_rate_per_s=measures["dio"],
+        ))
+    return SensitivityResult(parameter=f"site.{field}",
+                             points=tuple(points))
+
+
+def sweep_protocol_field(
+    workload: WorkloadSpec,
+    sites: dict[str, SiteParameters],
+    field: str,
+    values: list[float],
+) -> SensitivityResult:
+    """Sweep one :class:`ProtocolCosts` field at every site."""
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    points = []
+    for value in values:
+        cast = int(value) if isinstance(
+            getattr(ProtocolCosts(), field), int) else value
+        swept = {}
+        for name, site in sites.items():
+            protocol = replace(site.protocol, **{field: cast})
+            swept[name] = site.with_overrides(protocol=protocol)
+        measures = _solve(workload, swept)
+        points.append(SensitivityPoint(
+            value=float(value),
+            throughput_per_s=measures["throughput"],
+            cpu_utilization=measures["cpu"],
+            dio_rate_per_s=measures["dio"],
+        ))
+    return SensitivityResult(parameter=f"protocol.{field}",
+                             points=tuple(points))
+
+
+def sweep_basic_cost(
+    workload: WorkloadSpec,
+    sites: dict[str, SiteParameters],
+    base: BaseType,
+    field: str,
+    values: list[float],
+) -> SensitivityResult:
+    """Sweep one Table 2 entry (e.g. LU's ``dmio_disk``) at every
+    site."""
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    points = []
+    for value in values:
+        swept = {}
+        for name, site in sites.items():
+            costs = dict(site.costs)
+            costs[base] = replace(costs[base], **{field: value})
+            swept[name] = site.with_overrides(costs=costs)
+        measures = _solve(workload, swept)
+        points.append(SensitivityPoint(
+            value=float(value),
+            throughput_per_s=measures["throughput"],
+            cpu_utilization=measures["cpu"],
+            dio_rate_per_s=measures["dio"],
+        ))
+    return SensitivityResult(
+        parameter=f"table2.{base.value}.{field}",
+        points=tuple(points))
+
+
+def elasticity(result: SensitivityResult, site: str) -> float:
+    """Log-log slope of throughput vs. parameter over the sweep range:
+    ~0 means the parameter barely matters, ~-1 means throughput is
+    inversely proportional to it."""
+    import math
+    series = [(v, x) for v, x in result.series(site) if v > 0 and x > 0]
+    if len(series) < 2:
+        raise ConfigurationError("elasticity needs >= 2 positive points")
+    (v0, x0), (v1, x1) = series[0], series[-1]
+    if v0 == v1:
+        raise ConfigurationError("degenerate sweep range")
+    return (math.log(x1) - math.log(x0)) / (math.log(v1) - math.log(v0))

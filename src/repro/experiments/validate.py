@@ -1,0 +1,88 @@
+"""Agreement statistics between result columns.
+
+Quantifies how well two series track each other — our model vs. our
+simulator, or our model vs. the paper's published columns — with the
+error measures modeling papers conventionally report: mean absolute
+percentage error (MAPE), mean signed bias, and worst-case ratio.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["AgreementStats", "compare_series", "model_vs_sim",
+           "model_vs_paper"]
+
+
+@dataclass(frozen=True)
+class AgreementStats:
+    """Error statistics of a prediction series against a reference."""
+
+    points: int
+    mape: float            #: mean |pred/ref - 1|
+    bias: float            #: mean (pred/ref - 1); + means over-predicts
+    worst_ratio: float     #: max of pred/ref and ref/pred over points
+    rmse_relative: float   #: sqrt(mean (pred/ref - 1)^2)
+
+    def summary(self) -> str:
+        """One-line human-readable rendering."""
+        return (f"{self.points} points: MAPE {100 * self.mape:.1f}%, "
+                f"bias {100 * self.bias:+.1f}%, worst ratio "
+                f"{self.worst_ratio:.2f}x")
+
+
+def compare_series(predicted: list[float],
+                   reference: list[float]) -> AgreementStats:
+    """Agreement statistics for paired positive series."""
+    if len(predicted) != len(reference):
+        raise ConfigurationError("series lengths differ")
+    pairs = [(p, r) for p, r in zip(predicted, reference)
+             if r > 0 and p > 0]
+    if not pairs:
+        raise ConfigurationError("no positive pairs to compare")
+    ratios = [p / r for p, r in pairs]
+    errors = [ratio - 1.0 for ratio in ratios]
+    return AgreementStats(
+        points=len(pairs),
+        mape=sum(abs(e) for e in errors) / len(errors),
+        bias=sum(errors) / len(errors),
+        worst_ratio=max(max(r, 1.0 / r) for r in ratios),
+        rmse_relative=math.sqrt(sum(e * e for e in errors)
+                                / len(errors)),
+    )
+
+
+def model_vs_sim(result: ExperimentResult,
+                 metric: str = "xput") -> AgreementStats:
+    """Model-column vs. simulator-column agreement over a sweep."""
+    predicted = [getattr(p, f"model_{metric}") for p in result.points]
+    reference = [getattr(p, f"sim_{metric}") for p in result.points]
+    return compare_series(predicted, reference)
+
+
+def model_vs_paper(result: ExperimentResult,
+                   column: str = "model",
+                   metric_index: int = 0) -> AgreementStats:
+    """Our model vs. the paper's published column (``"model"`` or
+    ``"measured"``); ``metric_index`` selects XPUT/CPU/DIO (0/1/2)."""
+    spec = result.spec
+    table = (spec.paper_model if column == "model"
+             else spec.paper_measured)
+    if not table:
+        raise ConfigurationError(
+            f"experiment {spec.exp_id} has no published numbers")
+    attr = {0: "model_xput", 1: "model_cpu", 2: "model_dio"}[
+        metric_index]
+    predicted = []
+    reference = []
+    for point in result.points:
+        published = table.get((point.n, point.site))
+        if published is None:
+            continue
+        predicted.append(getattr(point, attr))
+        reference.append(published[metric_index])
+    return compare_series(predicted, reference)

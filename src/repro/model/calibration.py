@@ -1,0 +1,118 @@
+"""Calibration of the protocol-derived phase costs (DESIGN.md §4.3).
+
+Paper Table 2 pins the U/TM/DM/LR/DMIO costs; the INIT/TC/TCIO/TA/UL
+costs were "calculated [JENQ86]" from protocol measurements we do not
+have.  :func:`calibrate_protocol` fits the three residual CPU constants
+(TBEGIN, DBOPEN-per-site, commit bookkeeping) so that the model
+reproduces one published operating point, and reports the fit quality.
+
+The shipped :class:`~repro.model.parameters.ProtocolCosts` defaults
+came from exactly this procedure against the paper's MB8 n=4 model row
+(Table 3) and were then frozen for every workload and sweep — this
+module exists so the procedure itself is reproducible and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+from scipy import optimize
+
+from repro.errors import ConvergenceError
+from repro.model.parameters import ProtocolCosts, paper_sites
+from repro.model.solver import solve_model
+from repro.model.workload import WorkloadSpec, mb8
+
+__all__ = ["CalibrationTarget", "CalibrationResult",
+           "calibrate_protocol", "PAPER_MB8_N4_TARGET"]
+
+
+@dataclass(frozen=True)
+class CalibrationTarget:
+    """One published operating point: per-site (XPUT, CPU, DIO)."""
+
+    workload: WorkloadSpec
+    per_site: dict[str, tuple[float, float, float]]
+
+
+#: Paper Table 3, MB8 n=4, model columns.
+PAPER_MB8_N4_TARGET = CalibrationTarget(
+    workload=mb8(4),
+    per_site={"A": (1.11, 0.55, 35.1), "B": (0.79, 0.42, 25.0)},
+)
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Fitted costs plus the achieved objective."""
+
+    protocol: ProtocolCosts
+    objective: float
+    iterations: int
+    residuals: dict[str, tuple[float, float, float]]
+
+
+def _objective_components(protocol: ProtocolCosts,
+                          target: CalibrationTarget):
+    sites = paper_sites(protocol=protocol)
+    solution = solve_model(target.workload, sites, max_iterations=1000,
+                           raise_on_nonconvergence=False)
+    residuals = {}
+    terms = []
+    for name, (xput, cpu, dio) in target.per_site.items():
+        site = solution.site(name)
+        r = (site.transaction_throughput_per_s / xput - 1.0,
+             site.cpu_utilization / cpu - 1.0,
+             site.dio_rate_per_s / dio - 1.0)
+        residuals[name] = r
+        terms.extend(r)
+    return float(np.sum(np.square(terms))), residuals
+
+
+def calibrate_protocol(
+    target: CalibrationTarget = PAPER_MB8_N4_TARGET,
+    initial: ProtocolCosts | None = None,
+    max_evaluations: int = 60,
+) -> CalibrationResult:
+    """Fit (tbegin, dbopen-per-site, commit) CPU costs to *target*.
+
+    Uses derivative-free Nelder–Mead (the model solve is noisy-smooth
+    but not differentiable) with non-negativity enforced by clamping.
+
+    Raises
+    ------
+    ConvergenceError
+        When the optimizer cannot improve on a clearly bad fit
+        (objective above 1.0, i.e. >100% RMS relative error).
+    """
+    initial = initial or ProtocolCosts()
+    x0 = np.array([initial.tbegin_cpu, initial.dbopen_cpu_per_site,
+                   initial.commit_cpu])
+    evaluations = 0
+
+    def with_params(x: np.ndarray) -> ProtocolCosts:
+        x = np.clip(x, 0.0, 200.0)
+        return replace(initial, tbegin_cpu=float(x[0]),
+                       dbopen_cpu_per_site=float(x[1]),
+                       commit_cpu=float(x[2]))
+
+    def objective(x: np.ndarray) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        value, _ = _objective_components(with_params(x), target)
+        return value
+
+    result = optimize.minimize(
+        objective, x0, method="Nelder-Mead",
+        options={"maxfev": max_evaluations, "xatol": 0.5,
+                 "fatol": 1e-4})
+    best = with_params(result.x)
+    value, residuals = _objective_components(best, target)
+    if value > 1.0:
+        raise ConvergenceError(
+            f"calibration failed (objective {value:.3f})",
+            iterations=evaluations, residual=value)
+    return CalibrationResult(protocol=best, objective=value,
+                             iterations=evaluations,
+                             residuals=residuals)

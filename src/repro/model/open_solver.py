@@ -1,0 +1,262 @@
+"""Open-arrival variant of the CARAT model.
+
+The paper's model is *closed*: a fixed population of terminals, each
+with at most one outstanding transaction.  Modern capacity planning
+often starts from the other end — transactions arrive at a rate and
+the question is whether the system keeps up.  This module solves the
+same site model with open multi-class product-form equations:
+
+* utilization: ``rho_c = sum_t lam_t * D_ct``
+* residence at a queueing center: ``R_ct = D_ct / (1 - rho_c)``
+* residence at a delay center: ``R_ct = D_ct``
+
+and closes the same lock/remote-wait fixed point, with the mean number
+of concurrent transactions per chain given by Little's law
+(``N_t = lam_t * R_t``) instead of a fixed population.
+
+The closed solver remains the faithful reproduction; this one answers
+"at what arrival rate does the paper's system saturate?"
+(see ``examples/capacity_planning.py`` and the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.model import demands as demands_mod
+from repro.model import locking
+from repro.model.parameters import SiteParameters
+from repro.model.phases import ConflictProbabilities, transition_matrix, \
+    visit_counts
+from repro.model.types import BaseType, ChainType
+from repro.model.workload import WorkloadSpec
+
+__all__ = ["OpenWorkload", "OpenChainResult", "OpenSolution",
+           "solve_open_model"]
+
+
+@dataclass(frozen=True)
+class OpenWorkload:
+    """Arrival-driven workload: transactions/second per site and type.
+
+    Transaction *structure* (requests per transaction, records per
+    request, remote split) is borrowed from a closed
+    :class:`WorkloadSpec` template whose populations are ignored.
+    """
+
+    template: WorkloadSpec
+    arrivals_per_s: dict[str, dict[BaseType, float]]
+
+    def __post_init__(self) -> None:
+        for site, rates in self.arrivals_per_s.items():
+            if site not in self.template.sites:
+                raise ConfigurationError(f"unknown site {site!r}")
+            for base, rate in rates.items():
+                if rate < 0:
+                    raise ConfigurationError(
+                        f"negative arrival rate for {base} at {site}")
+
+    def rate(self, site: str, base: BaseType) -> float:
+        """Arrivals/second of *base* transactions at *site*."""
+        return self.arrivals_per_s.get(site, {}).get(base, 0.0)
+
+    def chain_rates(self, site: str) -> dict[ChainType, float]:
+        """Per-chain arrival rates at *site* (slaves inherit the rate
+        of their remote coordinators, split like the populations)."""
+        rates = {chain: 0.0 for chain in ChainType}
+        rates[ChainType.LRO] = self.rate(site, BaseType.LRO)
+        rates[ChainType.LU] = self.rate(site, BaseType.LU)
+        rates[ChainType.DROC] = self.rate(site, BaseType.DRO)
+        rates[ChainType.DUC] = self.rate(site, BaseType.DU)
+        for other in self.template.sites:
+            if other == site:
+                continue
+            share = self.template.remote_request_fraction(other, site)
+            rates[ChainType.DROS] += self.rate(other, BaseType.DRO) \
+                * (1.0 if share > 0 else 0.0)
+            rates[ChainType.DUS] += self.rate(other, BaseType.DU) \
+                * (1.0 if share > 0 else 0.0)
+        return rates
+
+
+@dataclass(frozen=True)
+class OpenChainResult:
+    """Steady-state measures of one chain at one site."""
+
+    chain: ChainType
+    arrival_rate_per_s: float
+    response_ms: float
+    concurrency: float          #: mean transactions in system (Little)
+    abort_probability: float
+    n_submissions: float
+
+
+@dataclass(frozen=True)
+class OpenSolution:
+    """Solution of the open model."""
+
+    sites: dict[str, dict[ChainType, OpenChainResult]]
+    cpu_utilization: dict[str, float]
+    disk_utilization: dict[str, float]
+    iterations: int
+
+    def bottleneck_utilization(self) -> float:
+        """Highest center utilization anywhere in the system."""
+        values = list(self.cpu_utilization.values()) \
+            + list(self.disk_utilization.values())
+        return max(values) if values else 0.0
+
+
+def solve_open_model(
+    workload: OpenWorkload,
+    sites: dict[str, SiteParameters],
+    tolerance: float = 1e-6,
+    max_iterations: int = 300,
+    damping: float = 0.5,
+) -> OpenSolution:
+    """Solve the open model by fixed-point iteration.
+
+    Raises
+    ------
+    ConfigurationError
+        If the offered load saturates a CPU or disk (no steady state).
+    ConvergenceError
+        If the lock fixed point fails to settle.
+    """
+    template = workload.template
+    # Static per-chain structure.
+    state: dict[tuple[str, ChainType], dict] = {}
+    for site_name in template.sites:
+        site = sites[site_name]
+        for chain, rate in workload.chain_rates(site_name).items():
+            if rate <= 0.0:
+                continue
+            q = demands_mod.ios_per_request(site, template, chain)
+            locks = demands_mod.lock_count(template, chain, q)
+            state[(site_name, chain)] = {
+                "rate_ms": rate / 1e3, "q": q, "locks": locks,
+                "l": template.local_requests(chain),
+                "r": template.remote_requests(chain),
+                "pb": 0.0, "pd": 0.0, "pa": 0.0, "ns": 1.0,
+                "sigma": 0.5, "eY": locking.locks_at_abort(locks, 0.0),
+                "lh": 0.0, "blocked_frac": 0.0, "r_lw": 0.0,
+                "response": 0.0, "active": 0.0,
+            }
+    if not state:
+        raise ConfigurationError("open workload has no traffic")
+
+    cpu_util: dict[str, float] = {}
+    disk_util: dict[str, float] = {}
+    iterations = 0
+    residual = float("inf")
+    for iterations in range(1, max_iterations + 1):
+        # Demands from the current conflict iterates.
+        for (site_name, chain), s in state.items():
+            site = sites[site_name]
+            conflict = ConflictProbabilities(
+                blocking=min(1.0, s["pb"]),
+                deadlock_victim=min(1.0, s["pd"]))
+            visits = visit_counts(transition_matrix(
+                chain, s["l"], s["r"], s["q"], conflict))
+            costs = demands_mod.build_phase_costs(
+                site, template, chain, aborted_granules=s["eY"])
+            demands = demands_mod.aggregate_demands(
+                chain, visits, s["ns"], costs, 0.0)
+            s["cpu_ms"] = demands.cpu_ms
+            s["disk_ms"] = demands.db_disk_ms + demands.log_disk_ms
+            s["lw_visits"] = demands.lw_visits
+
+        # Open-network utilizations and responses per site.
+        new_residual = 0.0
+        for site_name in template.sites:
+            chains_here = [(c, s) for (sn, c), s in state.items()
+                           if sn == site_name]
+            if not chains_here:
+                continue
+            rho_cpu = sum(s["rate_ms"] * s["cpu_ms"]
+                          for _c, s in chains_here)
+            rho_disk = sum(s["rate_ms"] * s["disk_ms"]
+                           for _c, s in chains_here)
+            if rho_cpu >= 1.0 or rho_disk >= 1.0:
+                raise ConfigurationError(
+                    f"site {site_name} saturated (cpu {rho_cpu:.2f}, "
+                    f"disk {rho_disk:.2f}); reduce arrival rates")
+            cpu_util[site_name] = rho_cpu
+            disk_util[site_name] = rho_disk
+            for chain, s in chains_here:
+                active = (s["cpu_ms"] / (1.0 - rho_cpu)
+                          + s["disk_ms"] / (1.0 - rho_disk))
+                lw = s["lw_visits"] * s["r_lw"]
+                response = active + lw
+                if s["response"] > 0:
+                    new_residual = max(
+                        new_residual,
+                        abs(response - s["response"]) / s["response"])
+                else:
+                    new_residual = max(new_residual, 1.0)
+                s["response"] = response
+                s["active"] = active
+                s["blocked_frac"] = lw / response if response > 0 else 0.0
+
+        # Lock model per site (Little's law concurrency).
+        for site_name in template.sites:
+            site = sites[site_name]
+            chains_here = [(c, s) for (sn, c), s in state.items()
+                           if sn == site_name]
+            if not chains_here:
+                continue
+            populations = {}
+            locks_held = {}
+            for chain, s in chains_here:
+                concurrency = s["rate_ms"] * s["response"]
+                lh_single = locking.average_locks_held(
+                    s["locks"], s["pa"], s["sigma"], s["response"],
+                    think_time=0.0)
+                s["lh"] = ((1 - damping) * s["lh"]
+                           + damping * lh_single)
+                populations[chain] = concurrency
+                locks_held[chain] = s["lh"]
+            blocked = {chain: s["blocked_frac"]
+                       for chain, s in chains_here}
+            locks_of = {chain: s["locks"] for chain, s in chains_here}
+            actives = {chain: s["active"] for chain, s in chains_here}
+            for chain, s in chains_here:
+                pb = locking.blocking_probability(
+                    chain, populations, locks_held, site.granules)
+                pd = locking.deadlock_victim_probability(
+                    chain, populations, locks_held, blocked)
+                r_lw = locking.lock_wait_time(
+                    chain, populations, locks_held, locks_of, actives)
+                s["pb"] = (1 - damping) * s["pb"] + damping * pb
+                s["pd"] = (1 - damping) * s["pd"] + damping * pd
+                s["r_lw"] = (1 - damping) * s["r_lw"] + damping * r_lw
+                pa = demands_mod.abort_probability(
+                    chain, s["locks"], s["pb"], s["pd"])
+                s["pa"] = (1 - damping) * s["pa"] + damping * pa
+                s["ns"] = demands_mod.mean_submissions(
+                    min(s["pa"], 0.999))
+                s["eY"] = locking.locks_at_abort(
+                    s["locks"], s["pb"] * s["pd"])
+                s["sigma"] = s["eY"] / s["locks"]
+
+        residual = new_residual
+        if residual < tolerance:
+            break
+    else:
+        raise ConvergenceError("open model did not converge",
+                               iterations=iterations, residual=residual)
+
+    results: dict[str, dict[ChainType, OpenChainResult]] = {}
+    for (site_name, chain), s in state.items():
+        results.setdefault(site_name, {})[chain] = OpenChainResult(
+            chain=chain,
+            arrival_rate_per_s=s["rate_ms"] * 1e3,
+            response_ms=s["response"],
+            concurrency=s["rate_ms"] * s["response"],
+            abort_probability=s["pa"],
+            n_submissions=s["ns"],
+        )
+    return OpenSolution(sites=results, cpu_utilization=cpu_util,
+                        disk_utilization=disk_util,
+                        iterations=iterations)

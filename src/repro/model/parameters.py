@@ -1,0 +1,252 @@
+"""Model input parameters (paper Table 2 plus derived phase costs).
+
+Paper Table 2 gives, per node and base transaction type, six *basic*
+parameters in milliseconds: the CPU requirements of the U, TM, DM, LR
+and DMIO phases and the disk requirement of one DMIO phase.  The
+remaining phase costs (INIT, TC, TCIO, TA, TAIO, UL) were "calculated
+[JENQ86]" from these; we derive them from the message protocol (see
+DESIGN.md §4.3) with the constants below, shared by the analytical model
+and the testbed simulator so the two stay comparable.
+
+Unit convention: **all times are milliseconds** throughout the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.model.types import BaseType, ChainType
+
+__all__ = ["BasicPhaseCosts", "ProtocolCosts", "SiteParameters",
+           "paper_table2", "paper_sites"]
+
+
+@dataclass(frozen=True)
+class BasicPhaseCosts:
+    """One row of paper Table 2 (milliseconds).
+
+    Attributes
+    ----------
+    u_cpu:
+        CPU per user-application (U) phase visit.
+    tm_cpu:
+        CPU per TM-processing phase visit (higher for distributed
+        types, which pay network send/receive costs).
+    dm_cpu:
+        CPU per DM-processing phase visit.
+    lr_cpu:
+        CPU per lock request, including local deadlock detection.
+    dmio_cpu:
+        CPU per DMIO phase (I/O setup).
+    dmio_disk:
+        Disk time per DMIO phase; for update types this covers the
+        three I/Os per record update (db read + journal write +
+        db write), hence it is three times the read value.
+    """
+
+    u_cpu: float
+    tm_cpu: float
+    dm_cpu: float
+    lr_cpu: float
+    dmio_cpu: float
+    dmio_disk: float
+
+    def __post_init__(self) -> None:
+        for name in ("u_cpu", "tm_cpu", "dm_cpu", "lr_cpu",
+                     "dmio_cpu", "dmio_disk"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class ProtocolCosts:
+    """Constants for the phase costs Table 2 does not pin down.
+
+    These model the CARAT message protocol (paper §2): transaction
+    initialization (TBEGIN + DBOPEN round trips), the centralized
+    two-phase commit (PREPARE/COMMIT rounds with log force-writes) and
+    rollback (before-image write-backs).  Defaults were calibrated once
+    against the paper's MB8 n=4 model row and then frozen for every
+    workload and sweep (DESIGN.md §4.3).
+    """
+
+    #: CPU for TBEGIN/TBEGIN_K processing at the coordinator TM.
+    tbegin_cpu: float = 10.0
+    #: CPU for DBOPEN handling per participating site (TM routing plus
+    #: DM server allocation and catalog lookup).
+    dbopen_cpu_per_site: float = 14.0
+    #: CPU for commit bookkeeping at a site, on top of message costs.
+    commit_cpu: float = 6.0
+    #: Messages per slave per 2PC round trip (PREPARE+ACK, COMMIT+ACK).
+    twopc_rounds: int = 2
+    #: Log force-writes at the coordinator when committing an update
+    #: transaction (the commit record).
+    coordinator_commit_ios: int = 1
+    #: Log force-writes at a slave committing an update transaction
+    #: (prepare record + commit record).
+    slave_commit_ios: int = 2
+    #: Log force-writes for read-only commits (CARAT's read-only
+    #: optimization writes none).
+    readonly_commit_ios: int = 0
+    #: CPU to undo one updated granule during rollback.
+    undo_cpu_per_granule: float = 2.0
+    #: Disk I/Os to undo one updated granule (write the before-image
+    #: back; the journal page is assumed buffered).
+    undo_ios_per_granule: int = 1
+    #: CPU to release one lock in the UL phase.
+    unlock_cpu_per_lock: float = 0.4
+    #: CPU to process one abort-notification message.
+    abort_message_cpu: float = 8.0
+
+    def __post_init__(self) -> None:
+        numeric = ("tbegin_cpu", "dbopen_cpu_per_site", "commit_cpu",
+                   "undo_cpu_per_granule", "unlock_cpu_per_lock",
+                   "abort_message_cpu")
+        for name in numeric:
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        counts = ("twopc_rounds", "coordinator_commit_ios",
+                  "slave_commit_ios", "readonly_commit_ios",
+                  "undo_ios_per_granule")
+        for name in counts:
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class SiteParameters:
+    """Everything the model needs to know about one site.
+
+    Parameters
+    ----------
+    name:
+        Site identifier (paper: ``"A"`` and ``"B"``).
+    granules:
+        ``N_g`` — number of database granules (blocks) at the site
+        (paper: 3000).
+    records_per_granule:
+        ``N_b`` — records per granule (paper: 6).
+    block_io_ms:
+        Time for one disk block transfer (paper: 28 ms on Node A's
+        RM05, 40 ms on Node B's RP06).
+    costs:
+        Basic phase costs per base transaction type (paper Table 2).
+    protocol:
+        Protocol-derived cost constants shared across types.
+    buffer_hit_probability:
+        Probability a granule read hits a shared database buffer
+        (paper assumption: 0 — every granule access is a disk I/O).
+        Exposed for the buffering ablation.
+    log_on_separate_disk:
+        When True, commit/abort log I/O is served by a second disk
+        center instead of competing with database I/O (the paper notes
+        the shared disk was a known bottleneck of the testbed).
+    """
+
+    name: str
+    granules: int = 3000
+    records_per_granule: int = 6
+    block_io_ms: float = 28.0
+    costs: dict[BaseType, BasicPhaseCosts] = field(default_factory=dict)
+    protocol: ProtocolCosts = field(default_factory=ProtocolCosts)
+    buffer_hit_probability: float = 0.0
+    log_on_separate_disk: bool = False
+
+    def __post_init__(self) -> None:
+        if self.granules <= 0 or self.records_per_granule <= 0:
+            raise ConfigurationError(
+                "granules and records_per_granule must be positive"
+            )
+        if self.block_io_ms <= 0:
+            raise ConfigurationError("block_io_ms must be positive")
+        if not 0.0 <= self.buffer_hit_probability < 1.0:
+            raise ConfigurationError(
+                "buffer_hit_probability must be in [0, 1)"
+            )
+        missing = [b for b in BaseType if b not in self.costs]
+        if missing:
+            raise ConfigurationError(
+                f"site {self.name!r} lacks basic costs for {missing}"
+            )
+
+    @property
+    def records_total(self) -> int:
+        """Total records stored at the site."""
+        return self.granules * self.records_per_granule
+
+    def costs_for(self, chain: ChainType) -> BasicPhaseCosts:
+        """Basic costs used by a model chain (slaves use the
+        distributed row of their base type, as in the paper)."""
+        return self.costs[chain.base]
+
+    def effective_read_io_ms(self) -> float:
+        """Mean disk time of a granule read after buffer hits."""
+        return self.block_io_ms * (1.0 - self.buffer_hit_probability)
+
+    def with_overrides(self, **changes) -> "SiteParameters":
+        """Copy with selected fields replaced (dataclass ``replace``).
+
+        Note: overriding ``block_io_ms`` alone leaves the Table 2
+        ``dmio_disk`` values (which embed the old block time) as they
+        are; to change the disk *speed* consistently use
+        :meth:`with_block_io`.
+        """
+        return replace(self, **changes)
+
+    def with_block_io(self, block_io_ms: float) -> "SiteParameters":
+        """Copy with a different disk speed, rescaling every type's
+        ``dmio_disk`` so the I/O *counts* per granule access are
+        preserved (1 for reads, 3 for updates)."""
+        if block_io_ms <= 0:
+            raise ConfigurationError("block_io_ms must be positive")
+        scale = block_io_ms / self.block_io_ms
+        costs = {base: replace(cost, dmio_disk=cost.dmio_disk * scale)
+                 for base, cost in self.costs.items()}
+        return replace(self, block_io_ms=block_io_ms, costs=costs)
+
+
+def paper_table2(node: str) -> dict[BaseType, BasicPhaseCosts]:
+    """Basic parameter values of paper Table 2 for node ``"A"``/``"B"``.
+
+    All values in milliseconds, exactly as printed in the paper.
+    """
+    if node not in ("A", "B"):
+        raise ConfigurationError(f"paper nodes are 'A' and 'B', not {node!r}")
+    read_io = 28.0 if node == "A" else 40.0
+    return {
+        BaseType.LRO: BasicPhaseCosts(
+            u_cpu=7.8, tm_cpu=8.0, dm_cpu=5.4, lr_cpu=2.2,
+            dmio_cpu=1.5, dmio_disk=read_io,
+        ),
+        BaseType.LU: BasicPhaseCosts(
+            u_cpu=7.8, tm_cpu=8.0, dm_cpu=8.6, lr_cpu=2.2,
+            dmio_cpu=2.5, dmio_disk=3.0 * read_io,
+        ),
+        BaseType.DRO: BasicPhaseCosts(
+            u_cpu=7.8, tm_cpu=12.0, dm_cpu=5.4, lr_cpu=2.2,
+            dmio_cpu=1.5, dmio_disk=read_io,
+        ),
+        BaseType.DU: BasicPhaseCosts(
+            u_cpu=7.8, tm_cpu=12.0, dm_cpu=8.6, lr_cpu=2.2,
+            dmio_cpu=2.5, dmio_disk=3.0 * read_io,
+        ),
+    }
+
+
+def paper_sites(protocol: ProtocolCosts | None = None,
+                ) -> dict[str, SiteParameters]:
+    """The paper's two-node configuration: Node A (RM05 disk, 28 ms
+    block I/O) and Node B (RP06 disk, 40 ms block I/O), 3000 granules
+    of 6 records each per node."""
+    protocol = protocol or ProtocolCosts()
+    return {
+        "A": SiteParameters(
+            name="A", granules=3000, records_per_granule=6,
+            block_io_ms=28.0, costs=paper_table2("A"), protocol=protocol,
+        ),
+        "B": SiteParameters(
+            name="B", granules=3000, records_per_granule=6,
+            block_io_ms=40.0, costs=paper_table2("B"), protocol=protocol,
+        ),
+    }

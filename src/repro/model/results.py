@@ -1,0 +1,121 @@
+"""Result records produced by the analytical solver.
+
+The units follow the paper's reporting conventions: times in
+milliseconds internally, rates converted to per-second for the
+user-facing measures (TR-XPUT, Total-DIO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.locking import LockModelState
+from repro.model.types import ChainType
+
+__all__ = ["ChainResult", "SiteResult", "ModelSolution"]
+
+#: Chains owned by users of the site (counted in TR-XPUT); slave chains
+#: execute on behalf of remote users and are excluded.
+USER_CHAINS = (ChainType.LRO, ChainType.LU, ChainType.DROC, ChainType.DUC)
+
+
+@dataclass(frozen=True)
+class ChainResult:
+    """Converged measures for one chain at one site."""
+
+    chain: ChainType
+    site: str
+    population: int
+    #: Committed transactions per second.
+    throughput_per_s: float
+    #: Full commit-cycle response time (ms), aborts and waits included.
+    cycle_response_ms: float
+    #: Mean submissions per commit, ``N_s``.
+    n_submissions: float
+    #: Probability an execution aborts, ``P_a``.
+    abort_probability: float
+    #: Converged lock-model internals.
+    lock_state: LockModelState
+    #: CPU demand per commit cycle (ms).
+    cpu_demand_ms: float
+    #: Database-disk demand per commit cycle (ms).
+    disk_demand_ms: float
+    #: Log-disk demand per commit cycle (ms; 0 unless a separate log
+    #: disk is configured).
+    log_disk_demand_ms: float
+    #: Physical disk I/O operations per commit cycle.
+    ios_per_cycle: float
+    #: Mean per-visit delays at the synchronization centers (ms).
+    lock_wait_ms: float
+    remote_wait_ms: float
+    commit_wait_ms: float
+    #: Records accessed per committed transaction (whole transaction,
+    #: remote records included, for the paper's normalized throughput).
+    records_per_txn: float
+    #: Residence time per commit cycle at each service center (ms);
+    #: keys are the site-network center names ("cpu", "disk", "lw",
+    #: "rw", "cw", "ut", optionally "logdisk").  Sums to
+    #: ``cycle_response_ms``.
+    residence_ms: dict[str, float] = field(default_factory=dict)
+
+    def residence_fraction(self, center: str) -> float:
+        """Share of the cycle response spent at one center."""
+        if self.cycle_response_ms <= 0:
+            return 0.0
+        return self.residence_ms.get(center, 0.0) / self.cycle_response_ms
+
+
+@dataclass(frozen=True)
+class SiteResult:
+    """Converged measures for one site."""
+
+    site: str
+    chains: dict[ChainType, ChainResult] = field(default_factory=dict)
+    cpu_utilization: float = 0.0
+    disk_utilization: float = 0.0
+    log_disk_utilization: float = 0.0
+
+    @property
+    def transaction_throughput_per_s(self) -> float:
+        """TR-XPUT — commits/s of the site's own users (slaves excluded)."""
+        return sum(r.throughput_per_s for t, r in self.chains.items()
+                   if t in USER_CHAINS)
+
+    @property
+    def record_throughput_per_s(self) -> float:
+        """Normalized throughput: records accessed per second by the
+        site's own users (paper Figures 5 and 8)."""
+        return sum(r.throughput_per_s * r.records_per_txn
+                   for t, r in self.chains.items() if t in USER_CHAINS)
+
+    @property
+    def dio_rate_per_s(self) -> float:
+        """Total-DIO — physical disk I/O operations per second at the
+        site, slave chains included."""
+        return sum(r.throughput_per_s * r.ios_per_cycle
+                   for r in self.chains.values())
+
+    def chain(self, chain: ChainType) -> ChainResult:
+        """Per-chain result (KeyError when the chain has no customers)."""
+        return self.chains[chain]
+
+
+@dataclass(frozen=True)
+class ModelSolution:
+    """Full solution of the distributed model."""
+
+    workload_name: str
+    requests_per_txn: int
+    sites: dict[str, SiteResult]
+    iterations: int
+    residual: float
+    converged: bool
+
+    def site(self, name: str) -> SiteResult:
+        """Result for one site."""
+        return self.sites[name]
+
+    def total_throughput_per_s(self) -> float:
+        """System-wide commits per second."""
+        return sum(s.transaction_throughput_per_s
+                   for s in self.sites.values())

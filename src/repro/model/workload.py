@@ -1,0 +1,265 @@
+"""Workload specifications (paper §2).
+
+A workload places a finite population of users at each site; every user
+repeatedly submits one synthetic transaction of a fixed base type.  A
+transaction issues ``n`` database requests, each accessing a fixed
+number of records chosen uniformly at random from the records of the
+site the request executes on.
+
+Distributed transactions split their requests between the coordinator
+site and remote site(s).  In the model (paper §4.2) they are decomposed
+into coordinator and slave chains; :meth:`WorkloadSpec.chain_populations`
+performs that decomposition, placing one slave chain customer at every
+slave site for each distributed user elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.model.types import BaseType, ChainType
+
+__all__ = ["WorkloadSpec", "lb8", "mb4", "mb8", "ub6",
+           "STANDARD_WORKLOADS"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A multi-site synthetic transaction workload.
+
+    Parameters
+    ----------
+    name:
+        Workload identifier (e.g. ``"MB8"``).
+    users:
+        ``{site: {base_type: population}}``.  Sites with no users of a
+        type may omit it.
+    requests_per_txn:
+        The transaction size ``n`` — number of TDO requests issued by
+        every transaction (paper: swept from 4 to 20).
+    records_per_request:
+        Database records accessed by each request (paper: 4).
+    remote_fraction:
+        For distributed transactions, the fraction of the ``n``
+        requests executed at remote sites (paper's two-node workloads
+        split requests evenly; default 0.5).
+    think_time_ms:
+        User think time between transactions (paper experiments: 0).
+    hot_access_fraction, hot_data_fraction:
+        Optional b-c hot-spot rule for nonuniform access (one of the
+        extensions §7 calls for): a ``hot_access_fraction`` share of
+        record accesses goes to a ``hot_data_fraction`` share of the
+        database (e.g. 0.8/0.2).  Both zero (the default, and the
+        paper's setting) means uniform access.
+    """
+
+    name: str
+    users: dict[str, dict[BaseType, int]]
+    requests_per_txn: int
+    records_per_request: int = 4
+    remote_fraction: float = 0.5
+    think_time_ms: float = 0.0
+    hot_access_fraction: float = 0.0
+    hot_data_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.requests_per_txn < 1:
+            raise ConfigurationError("requests_per_txn must be >= 1")
+        if self.records_per_request < 1:
+            raise ConfigurationError("records_per_request must be >= 1")
+        if not 0.0 <= self.remote_fraction <= 1.0:
+            raise ConfigurationError("remote_fraction must be in [0, 1]")
+        if not self.users:
+            raise ConfigurationError("workload needs at least one site")
+        for site, counts in self.users.items():
+            for base, count in counts.items():
+                if count < 0:
+                    raise ConfigurationError(
+                        f"negative population for {base} at {site}"
+                    )
+        if self._has_distributed_users():
+            if len(self.sites) < 2:
+                raise ConfigurationError(
+                    "distributed transactions need at least two sites"
+                )
+            if self.requests_per_txn < 2:
+                raise ConfigurationError(
+                    "distributed transactions need >= 2 requests (one "
+                    "local, one remote)"
+                )
+        hot_a, hot_b = self.hot_access_fraction, self.hot_data_fraction
+        if (hot_a == 0.0) != (hot_b == 0.0):
+            raise ConfigurationError(
+                "hot-spot rule needs both fractions set (or neither)"
+            )
+        if hot_a and not (0.0 < hot_a < 1.0 and 0.0 < hot_b < 1.0):
+            raise ConfigurationError(
+                "hot-spot fractions must lie strictly in (0, 1)"
+            )
+
+    def _has_distributed_users(self) -> bool:
+        return any(
+            count > 0 and base.is_distributed
+            for counts in self.users.values()
+            for base, count in counts.items()
+        )
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        """Site names in deterministic (sorted) order."""
+        return tuple(sorted(self.users))
+
+    def user_count(self, site: str, base: BaseType) -> int:
+        """Number of users of *base* type at *site*."""
+        return self.users.get(site, {}).get(base, 0)
+
+    def total_users(self, site: str | None = None) -> int:
+        """Total user population, at one site or overall."""
+        sites = [site] if site is not None else list(self.sites)
+        return sum(self.user_count(s, b) for s in sites for b in BaseType)
+
+    # ---- request split ---------------------------------------------------
+
+    def local_requests(self, chain: ChainType) -> int:
+        """``l(t)`` — requests a chain executes at its own site."""
+        n = self.requests_per_txn
+        if chain.is_local:
+            return n
+        if chain.is_coordinator:
+            return n - self.remote_requests(chain)
+        # Slave chains execute the coordinator's remote requests,
+        # spread over the slave sites.
+        remote = self.remote_requests(chain.counterpart)
+        return max(1, round(remote / self._slave_site_count()))
+
+    def remote_requests(self, chain: ChainType) -> int:
+        """``r(t)`` — requests a chain ships to remote sites."""
+        if not chain.is_coordinator:
+            return 0
+        n = self.requests_per_txn
+        r = round(n * self.remote_fraction)
+        # A distributed transaction must touch both classes of site to
+        # deserve the name; clamp into [1, n - 1].
+        return min(max(r, 1), n - 1)
+
+    def total_requests(self, chain: ChainType) -> int:
+        """``n(t) = l(t) + r(t)``."""
+        return self.local_requests(chain) + self.remote_requests(chain)
+
+    def records_per_txn(self, chain: ChainType) -> int:
+        """Records a chain accesses at its site per execution."""
+        return self.local_requests(chain) * self.records_per_request
+
+    def _slave_site_count(self) -> int:
+        return max(1, len(self.sites) - 1)
+
+    @property
+    def is_hotspot(self) -> bool:
+        """True when the b-c hot-spot rule is active."""
+        return self.hot_access_fraction > 0.0
+
+    def collision_multiplier(self) -> float:
+        """Contention inflation from skewed access.
+
+        Two independent accesses collide with probability
+        ``a^2 / b + (1 - a)^2 / (1 - b)`` times the uniform value under
+        the b-c rule, so the lock model can treat skew as a uniformly
+        accessed database shrunk by this factor.
+        """
+        if not self.is_hotspot:
+            return 1.0
+        a, b = self.hot_access_fraction, self.hot_data_fraction
+        return a * a / b + (1.0 - a) * (1.0 - a) / (1.0 - b)
+
+    def with_hotspot(self, access_fraction: float,
+                     data_fraction: float) -> "WorkloadSpec":
+        """Copy of this workload with a hot-spot rule applied."""
+        from dataclasses import replace
+        return replace(self, hot_access_fraction=access_fraction,
+                       hot_data_fraction=data_fraction)
+
+    def remote_request_fraction(self, origin: str, target: str) -> float:
+        """``f(t, i, j)`` — fraction of remote requests sent to *target*.
+
+        Remote requests are spread uniformly over the other sites.
+        """
+        if origin == target:
+            return 0.0
+        return 1.0 / self._slave_site_count()
+
+    # ---- chain decomposition ---------------------------------------------
+
+    def chain_populations(self, site: str) -> dict[ChainType, int]:
+        """``N(t, i)`` for every model chain type at *site*.
+
+        Local users map one-to-one to LRO/LU chains; distributed users
+        map to a coordinator chain at their own site plus one slave
+        chain customer at each other site.
+        """
+        if site not in self.users and site not in self.sites:
+            raise ConfigurationError(f"unknown site {site!r}")
+        populations = {chain: 0 for chain in ChainType}
+        populations[ChainType.LRO] = self.user_count(site, BaseType.LRO)
+        populations[ChainType.LU] = self.user_count(site, BaseType.LU)
+        populations[ChainType.DROC] = self.user_count(site, BaseType.DRO)
+        populations[ChainType.DUC] = self.user_count(site, BaseType.DU)
+        for other in self.sites:
+            if other == site:
+                continue
+            populations[ChainType.DROS] += self.user_count(other,
+                                                           BaseType.DRO)
+            populations[ChainType.DUS] += self.user_count(other,
+                                                          BaseType.DU)
+        return populations
+
+    def with_requests(self, requests_per_txn: int) -> "WorkloadSpec":
+        """Copy of this workload with a different transaction size."""
+        from dataclasses import replace
+        return replace(self, requests_per_txn=requests_per_txn)
+
+
+def _two_node(name: str, per_node: dict[BaseType, int],
+              n: int) -> WorkloadSpec:
+    """Symmetric two-node workload with the same users at A and B."""
+    return WorkloadSpec(
+        name=name,
+        users={"A": dict(per_node), "B": dict(per_node)},
+        requests_per_txn=n,
+    )
+
+
+def lb8(n: int = 8) -> WorkloadSpec:
+    """LB8 — local-only mix: 4 LRO + 4 LU users per node (paper §2)."""
+    return _two_node("LB8", {BaseType.LRO: 4, BaseType.LU: 4}, n)
+
+
+def mb4(n: int = 8) -> WorkloadSpec:
+    """MB4 — one user of each of LRO/LU/DRO/DU per node (paper §2)."""
+    return _two_node(
+        "MB4",
+        {BaseType.LRO: 1, BaseType.LU: 1, BaseType.DRO: 1, BaseType.DU: 1},
+        n,
+    )
+
+
+def mb8(n: int = 8) -> WorkloadSpec:
+    """MB8 — like MB4 but two users of each type per node (paper §2)."""
+    return _two_node(
+        "MB8",
+        {BaseType.LRO: 2, BaseType.LU: 2, BaseType.DRO: 2, BaseType.DU: 2},
+        n,
+    )
+
+
+def ub6(n: int = 8) -> WorkloadSpec:
+    """UB6 — local-intensive: 2 LRO, 2 LU, 1 DRO, 1 DU per node."""
+    return _two_node(
+        "UB6",
+        {BaseType.LRO: 2, BaseType.LU: 2, BaseType.DRO: 1, BaseType.DU: 1},
+        n,
+    )
+
+
+#: The paper's four standard two-node workloads, by name.
+STANDARD_WORKLOADS = {"LB8": lb8, "MB4": mb4, "MB8": mb8, "UB6": ub6}

@@ -1,0 +1,39 @@
+"""Product-form queueing network substrate.
+
+This subpackage is the generic queueing machinery the paper's model is
+built on: closed multi-chain networks (:mod:`repro.queueing.network`),
+exact and approximate MVA solvers, a convolution solver and a CTMC
+oracle for validation, Yao's block-access formula and an Ethernet delay
+model.
+"""
+
+from repro.queueing.bounds import (ChainBounds, asymptotic_bounds,
+                                   balanced_job_bounds,
+                                   saturation_population)
+from repro.queueing.centers import CenterKind, ServiceCenter
+from repro.queueing.convolution import solve_convolution
+from repro.queueing.ctmc import solve_ctmc
+from repro.queueing.ethernet import EthernetModel
+from repro.queueing.mva_approx import solve_mva_approx
+from repro.queueing.mva_exact import mva_cost, solve_mva_exact
+from repro.queueing.network import ClosedNetwork, NetworkSolution
+from repro.queueing.yao import expected_granules, yao_blocks
+
+__all__ = [
+    "CenterKind",
+    "ServiceCenter",
+    "ClosedNetwork",
+    "NetworkSolution",
+    "solve_mva_exact",
+    "solve_mva_approx",
+    "solve_convolution",
+    "solve_ctmc",
+    "mva_cost",
+    "yao_blocks",
+    "expected_granules",
+    "EthernetModel",
+    "ChainBounds",
+    "asymptotic_bounds",
+    "balanced_job_bounds",
+    "saturation_population",
+]

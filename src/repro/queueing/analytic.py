@@ -1,0 +1,212 @@
+"""Closed-form single-station queueing models.
+
+Textbook formulas ([KLEI75] in the paper's bibliography) used as
+oracles for the simulator's resources and as building blocks for the
+communication-delay model:
+
+* M/M/1 — exponential arrivals and service, one server;
+* M/M/m — m parallel servers (Erlang-C waiting probability);
+* M/G/1 — general service via Pollaczek–Khinchine;
+* M/M/1/K — finite buffer with loss.
+
+All functions take the arrival rate ``lam`` and the per-server service
+rate ``mu`` in consistent units and return times in those same units.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MM1", "MMm", "MG1", "MM1K", "erlang_c"]
+
+
+def _check_rates(lam: float, mu: float) -> None:
+    if lam < 0:
+        raise ConfigurationError(f"arrival rate {lam} must be >= 0")
+    if mu <= 0:
+        raise ConfigurationError(f"service rate {mu} must be > 0")
+
+
+def _check_stable(rho: float) -> None:
+    if rho >= 1.0:
+        raise ConfigurationError(
+            f"utilization rho={rho:.3f} >= 1; no steady state")
+
+
+@dataclass(frozen=True)
+class MM1:
+    """M/M/1 queue."""
+
+    lam: float
+    mu: float
+
+    def __post_init__(self) -> None:
+        _check_rates(self.lam, self.mu)
+        _check_stable(self.utilization)
+
+    @property
+    def utilization(self) -> float:
+        return self.lam / self.mu
+
+    @property
+    def mean_customers(self) -> float:
+        """L = rho / (1 - rho)."""
+        rho = self.utilization
+        return rho / (1.0 - rho)
+
+    @property
+    def mean_response(self) -> float:
+        """W = 1 / (mu - lambda)."""
+        return 1.0 / (self.mu - self.lam)
+
+    @property
+    def mean_wait(self) -> float:
+        """Wq = W - 1/mu."""
+        return self.mean_response - 1.0 / self.mu
+
+    def p_n(self, n: int) -> float:
+        """P[N = n] = (1 - rho) rho^n."""
+        if n < 0:
+            raise ConfigurationError("n must be >= 0")
+        rho = self.utilization
+        return (1.0 - rho) * rho ** n
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C: probability an arrival must queue in M/M/m.
+
+    ``offered_load = lam / mu`` (in Erlangs); requires
+    ``offered_load < servers``.
+    """
+    if servers < 1:
+        raise ConfigurationError("need at least one server")
+    if offered_load < 0:
+        raise ConfigurationError("offered load must be >= 0")
+    if offered_load >= servers:
+        raise ConfigurationError("offered load >= servers; unstable")
+    a = offered_load
+    total = sum(a ** k / math.factorial(k) for k in range(servers))
+    tail = (a ** servers / math.factorial(servers)) \
+        * servers / (servers - a)
+    return tail / (total + tail)
+
+
+@dataclass(frozen=True)
+class MMm:
+    """M/M/m queue (m identical parallel servers)."""
+
+    lam: float
+    mu: float
+    servers: int
+
+    def __post_init__(self) -> None:
+        _check_rates(self.lam, self.mu)
+        if self.servers < 1:
+            raise ConfigurationError("need at least one server")
+        _check_stable(self.utilization)
+
+    @property
+    def utilization(self) -> float:
+        """Per-server utilization rho = lam / (m mu)."""
+        return self.lam / (self.servers * self.mu)
+
+    @property
+    def wait_probability(self) -> float:
+        """Erlang-C probability of queueing."""
+        return erlang_c(self.servers, self.lam / self.mu)
+
+    @property
+    def mean_wait(self) -> float:
+        """Wq = C(m, a) / (m mu - lam)."""
+        return self.wait_probability / (self.servers * self.mu
+                                        - self.lam)
+
+    @property
+    def mean_response(self) -> float:
+        return self.mean_wait + 1.0 / self.mu
+
+    @property
+    def mean_customers(self) -> float:
+        return self.lam * self.mean_response
+
+
+@dataclass(frozen=True)
+class MG1:
+    """M/G/1 queue with general service (Pollaczek-Khinchine).
+
+    Parameterized by the service time's first two moments.
+    """
+
+    lam: float
+    service_mean: float
+    service_scv: float = 1.0   #: squared coefficient of variation
+
+    def __post_init__(self) -> None:
+        if self.lam < 0 or self.service_mean <= 0:
+            raise ConfigurationError("invalid rates")
+        if self.service_scv < 0:
+            raise ConfigurationError("SCV must be >= 0")
+        _check_stable(self.utilization)
+
+    @property
+    def utilization(self) -> float:
+        return self.lam * self.service_mean
+
+    @property
+    def mean_wait(self) -> float:
+        """Wq = rho (1 + c^2) E[S] / (2 (1 - rho))."""
+        rho = self.utilization
+        return (rho * (1.0 + self.service_scv) * self.service_mean
+                / (2.0 * (1.0 - rho)))
+
+    @property
+    def mean_response(self) -> float:
+        return self.mean_wait + self.service_mean
+
+    @property
+    def mean_customers(self) -> float:
+        return self.lam * self.mean_response
+
+
+@dataclass(frozen=True)
+class MM1K:
+    """M/M/1/K queue (finite buffer, arrivals lost when full)."""
+
+    lam: float
+    mu: float
+    capacity: int
+
+    def __post_init__(self) -> None:
+        _check_rates(self.lam, self.mu)
+        if self.capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+
+    @property
+    def offered_utilization(self) -> float:
+        return self.lam / self.mu
+
+    def p_n(self, n: int) -> float:
+        """P[N = n] for 0 <= n <= K."""
+        if not 0 <= n <= self.capacity:
+            raise ConfigurationError(f"n={n} outside [0, {self.capacity}]")
+        rho = self.offered_utilization
+        if abs(rho - 1.0) < 1e-12:
+            return 1.0 / (self.capacity + 1)
+        return (1.0 - rho) * rho ** n / (1.0 - rho ** (self.capacity + 1))
+
+    @property
+    def loss_probability(self) -> float:
+        """P[arrival lost] = P[N = K] (PASTA)."""
+        return self.p_n(self.capacity)
+
+    @property
+    def throughput(self) -> float:
+        """Accepted-arrival rate."""
+        return self.lam * (1.0 - self.loss_probability)
+
+    @property
+    def mean_customers(self) -> float:
+        return sum(n * self.p_n(n) for n in range(self.capacity + 1))

@@ -1,0 +1,124 @@
+"""Operational bounds for closed queueing networks.
+
+Complements the MVA solvers with the classic bounding analyses used for
+quick capacity sanity checks:
+
+* **asymptotic bounds** (Denning & Buzen): for a single chain with
+  total demand ``D``, bottleneck demand ``D_max`` and think time ``Z``,
+
+  ``X(N) <= min(N / (D + Z), 1 / D_max)``
+  ``X(N) >= N / (N * D + Z)``  (pessimistic: full queueing everywhere)
+
+* **balanced job bounds** (Zahorjan et al.): tighter two-sided bounds
+  using the average demand ``D_avg``.
+
+The test suite uses these to sandwich every MVA solution; the model
+uses them to detect a saturated configuration before iterating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.queueing.network import ClosedNetwork
+
+__all__ = ["ChainBounds", "asymptotic_bounds", "balanced_job_bounds",
+           "saturation_population"]
+
+
+@dataclass(frozen=True)
+class ChainBounds:
+    """Two-sided throughput and response-time bounds for one chain."""
+
+    chain: str
+    population: int
+    throughput_lower: float
+    throughput_upper: float
+    response_lower: float
+    response_upper: float
+
+    def contains_throughput(self, value: float,
+                            slack: float = 1e-9) -> bool:
+        """True when *value* lies within the throughput bounds."""
+        return (self.throughput_lower - slack <= value
+                <= self.throughput_upper + slack)
+
+
+def _chain_demands(network: ClosedNetwork, chain: str):
+    queueing = [c.demand(chain) for c in network.queueing_centers()
+                if c.demand(chain) > 0.0]
+    think = sum(c.demand(chain) for c in network.delay_centers())
+    if not queueing:
+        raise ConfigurationError(
+            f"chain {chain!r} visits no queueing center; bounds are "
+            f"trivial (X = N / Z)"
+        )
+    return queueing, think
+
+
+def asymptotic_bounds(network: ClosedNetwork,
+                      chain: str) -> ChainBounds:
+    """Single-chain asymptotic bounds, treating other chains as absent.
+
+    For multi-chain networks these are *optimistic* (competition can
+    only lower a chain's throughput), which is exactly how the tests
+    use them: every exact solution must fall below the upper bound.
+    """
+    population = network.populations[chain]
+    if population <= 0:
+        raise ConfigurationError(f"chain {chain!r} has no customers")
+    queueing, think = _chain_demands(network, chain)
+    total = sum(queueing)
+    d_max = max(queueing)
+    x_upper = min(population / (total + think), 1.0 / d_max)
+    x_lower = population / (population * total + think)
+    return ChainBounds(
+        chain=chain,
+        population=population,
+        throughput_lower=x_lower,
+        throughput_upper=x_upper,
+        response_lower=max(total, population * d_max - think),
+        response_upper=population * total,
+    )
+
+
+def balanced_job_bounds(network: ClosedNetwork,
+                        chain: str) -> ChainBounds:
+    """Balanced-job bounds (single chain); tighter than asymptotic.
+
+    With ``m`` queueing centers, ``D_avg = D / m``:
+
+    ``X(N) >= N / (D + Z + (N - 1) D_max)``
+    ``X(N) <= N / (D + Z + (N - 1) D_avg * (D / (D + Z)))``
+
+    (the upper form uses the standard BJB think-time correction).
+    """
+    population = network.populations[chain]
+    if population <= 0:
+        raise ConfigurationError(f"chain {chain!r} has no customers")
+    queueing, think = _chain_demands(network, chain)
+    total = sum(queueing)
+    d_max = max(queueing)
+    d_avg = total / len(queueing)
+    n = population
+    x_lower = n / (total + think + (n - 1) * d_max)
+    x_upper = n / (total + think
+                   + (n - 1) * d_avg * total / (total + think))
+    x_upper = min(x_upper, 1.0 / d_max)
+    return ChainBounds(
+        chain=chain,
+        population=n,
+        throughput_lower=x_lower,
+        throughput_upper=x_upper,
+        response_lower=n / x_upper - think,
+        response_upper=n / x_lower - think,
+    )
+
+
+def saturation_population(network: ClosedNetwork, chain: str) -> float:
+    """``N* = (D + Z) / D_max`` — the population where the asymptotic
+    bounds cross; beyond it the bottleneck is saturated and adding
+    customers only adds queueing."""
+    queueing, think = _chain_demands(network, chain)
+    return (sum(queueing) + think) / max(queueing)

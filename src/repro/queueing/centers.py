@@ -1,0 +1,77 @@
+"""Service-center definitions for closed product-form queueing networks.
+
+The site processing model of the paper (Figure 2) is a closed network of
+two kinds of centers:
+
+* *queueing* centers — a single FCFS/PS server with a queue (the CPU and
+  DISK centers), and
+* *delay* centers — infinite servers, where a customer never queues
+  (the LW, RW, CW, TM and UT centers of the paper).
+
+A network is described purely by per-chain *service demands*: the total
+service time a chain-*k* customer requires from the center per pass
+through the network.  Visit counts and per-visit service times are
+already folded into the demand, which is the standard MVA input form.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CenterKind", "ServiceCenter"]
+
+
+class CenterKind(enum.Enum):
+    """Scheduling discipline of a service center.
+
+    ``QUEUEING`` covers the product-form single-server disciplines
+    (FCFS with class-independent exponential service, PS, LCFS-PR); MVA
+    treats them identically.  ``DELAY`` is an infinite-server center.
+    """
+
+    QUEUEING = "queueing"
+    DELAY = "delay"
+
+
+@dataclass(frozen=True)
+class ServiceCenter:
+    """One service center of a closed queueing network.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the network (e.g. ``"cpu"``).
+    kind:
+        Scheduling discipline, see :class:`CenterKind`.
+    demands:
+        Mapping from chain name to the total service demand (time units)
+        a customer of that chain places on this center per network pass.
+        Chains that do not visit the center may be omitted or mapped to
+        ``0.0``.
+    """
+
+    name: str
+    kind: CenterKind
+    demands: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("service center needs a non-empty name")
+        for chain, demand in self.demands.items():
+            if demand < 0:
+                raise ConfigurationError(
+                    f"center {self.name!r}: demand for chain {chain!r} "
+                    f"is negative ({demand})"
+                )
+
+    def demand(self, chain: str) -> float:
+        """Service demand of *chain* at this center (0 if it never visits)."""
+        return self.demands.get(chain, 0.0)
+
+    @property
+    def is_delay(self) -> bool:
+        """True when this is an infinite-server (delay) center."""
+        return self.kind is CenterKind.DELAY

@@ -1,0 +1,192 @@
+"""Brute-force CTMC oracle for small closed queueing networks.
+
+Builds the continuous-time Markov chain of a closed network under
+processor-sharing queueing centers (PS is in the BCMP class, so its
+steady-state chain measures coincide with the product-form/MVA solution
+even with per-chain service rates) and exponential service everywhere.
+The chain state is the vector of per-(center, chain) customer counts.
+
+Each chain is modelled as cycling deterministically through the centers
+it visits, one visit per center per network pass, with per-visit mean
+service time equal to its demand at that center.  This routing has the
+same demands as the input network, so its product-form solution matches
+MVA's — making the CTMC an exact independent oracle for the test suite.
+
+Complexity is the number of ways to place each chain's customers on its
+cycle, so this is strictly a testing tool for populations of a few
+customers.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.queueing.network import ClosedNetwork, NetworkSolution
+
+__all__ = ["solve_ctmc"]
+
+#: Refuse chains with more states than this.
+MAX_STATES = 200_000
+
+
+def solve_ctmc(network: ClosedNetwork) -> NetworkSolution:
+    """Solve a small closed network exactly via its CTMC.
+
+    Raises
+    ------
+    ConfigurationError
+        If the state space exceeds :data:`MAX_STATES`.
+    """
+    chains = network.active_chains
+    centers = network.centers
+    center_names = [c.name for c in centers]
+    is_delay = {c.name: c.is_delay for c in centers}
+    demands = {(c.name, k): c.demand(k) for c in centers for k in chains}
+
+    # The cycle of each chain: the centers it visits, in declaration
+    # order.  One visit per pass.
+    cycles: dict[str, list[str]] = {}
+    for k in chains:
+        cycle = [c.name for c in centers if demands[(c.name, k)] > 0]
+        if not cycle:
+            raise ConfigurationError(f"chain {k!r} visits no center")
+        cycles[k] = cycle
+
+    states = _enumerate_states(network, chains, cycles)
+    if len(states) > MAX_STATES:
+        raise ConfigurationError(
+            f"CTMC has {len(states)} states (> {MAX_STATES})"
+        )
+    index = {s: i for i, s in enumerate(states)}
+    n = len(states)
+    q = np.zeros((n, n))
+
+    # Transition rates: a chain-k customer at center c completes service
+    # at rate mu = 1/demand scaled by the PS share (queueing center) or
+    # by the number in service (delay center), then hops to the next
+    # center on its cycle.
+    for s, i in index.items():
+        counts = dict(zip(_state_keys(chains, cycles), s))
+        occupancy = {c: 0 for c in center_names}
+        for (c, _k), v in counts.items():
+            occupancy[c] += v
+        for (c, k), v in counts.items():
+            if v == 0:
+                continue
+            mu = 1.0 / demands[(c, k)]
+            if is_delay[c]:
+                rate = v * mu
+            else:
+                rate = mu * v / occupancy[c]
+            nxt = _next_center(cycles[k], c)
+            new_counts = dict(counts)
+            new_counts[(c, k)] -= 1
+            new_counts[(nxt, k)] = new_counts.get((nxt, k), 0) + 1
+            target = tuple(new_counts[key]
+                           for key in _state_keys(chains, cycles))
+            j = index[target]
+            q[i, j] += rate
+            q[i, i] -= rate
+
+    pi = _stationary(q)
+
+    keys = _state_keys(chains, cycles)
+    throughput = {k: 0.0 for k in network.chains}
+    queue_length = {(c.name, k): 0.0 for c in centers for k in chains}
+    utilization = {(c.name, k): 0.0 for c in centers for k in chains}
+    for s, i in index.items():
+        counts = dict(zip(keys, s))
+        occupancy = {c: 0 for c in center_names}
+        for (c, _k), v in counts.items():
+            occupancy[c] += v
+        p = pi[i]
+        for (c, k), v in counts.items():
+            queue_length[(c, k)] += p * v
+            if v == 0:
+                continue
+            mu = 1.0 / demands[(c, k)]
+            if is_delay[c]:
+                rate = v * mu
+            else:
+                rate = mu * v / occupancy[c]
+            # Chain throughput: measured as completions at the first
+            # center on the cycle.
+            if c == cycles[k][0]:
+                throughput[k] += p * rate
+            if is_delay[c]:
+                utilization[(c, k)] += p * v
+            else:
+                utilization[(c, k)] += p * v / occupancy[c]
+
+    residence: dict[tuple[str, str], float] = {}
+    for (c, k), ql in queue_length.items():
+        x = throughput[k]
+        residence[(c, k)] = ql / x if x > 0 else 0.0
+    response_time = {}
+    for k in network.chains:
+        x = throughput[k]
+        response_time[k] = network.populations[k] / x if x > 0 else 0.0
+    return NetworkSolution(
+        throughput=throughput,
+        response_time=response_time,
+        queue_length=queue_length,
+        residence_time=residence,
+        utilization=utilization,
+    )
+
+
+def _state_keys(chains: tuple[str, ...],
+                cycles: dict[str, list[str]]) -> list[tuple[str, str]]:
+    """Deterministic ordering of the (center, chain) count vector."""
+    return [(c, k) for k in chains for c in cycles[k]]
+
+
+def _next_center(cycle: list[str], current: str) -> str:
+    """Successor of *current* on a cyclic route."""
+    i = cycle.index(current)
+    return cycle[(i + 1) % len(cycle)]
+
+
+def _enumerate_states(
+    network: ClosedNetwork,
+    chains: tuple[str, ...],
+    cycles: dict[str, list[str]],
+) -> list[tuple[int, ...]]:
+    """All placements of each chain's customers over its cycle."""
+    per_chain: list[list[tuple[int, ...]]] = []
+    for k in chains:
+        pop = network.populations[k]
+        slots = len(cycles[k])
+        per_chain.append(list(_compositions(pop, slots)))
+    states = []
+    for combo in itertools.product(*per_chain):
+        flat: list[int] = []
+        for part in combo:
+            flat.extend(part)
+        states.append(tuple(flat))
+    return states
+
+
+def _compositions(total: int, slots: int):
+    """All non-negative integer vectors of length *slots* summing to
+    *total*."""
+    if slots == 1:
+        yield (total,)
+        return
+    for head in range(total + 1):
+        for rest in _compositions(total - head, slots - 1):
+            yield (head,) + rest
+
+
+def _stationary(q: np.ndarray) -> np.ndarray:
+    """Stationary distribution of generator matrix *q* (rows sum to 0)."""
+    n = q.shape[0]
+    a = np.vstack([q.T, np.ones(n)])
+    b = np.zeros(n + 1)
+    b[-1] = 1.0
+    pi, *_ = np.linalg.lstsq(a, b, rcond=None)
+    pi = np.clip(pi, 0.0, None)
+    return pi / pi.sum()

@@ -1,0 +1,89 @@
+"""Almes-Lazowska style Ethernet delay model (paper §3, [ALME79]).
+
+The paper's Communication Network Model supplies the mean inter-site
+message delay ``alpha``.  For the two-node experiments the measured
+delay was negligible and the authors set ``alpha ~= 0``; we implement
+the model so larger configurations (or slower networks) can be studied.
+
+The model treats the Ethernet as a single shared channel with
+1-persistent CSMA/CD-style contention.  Following Almes & Lazowska we
+approximate the channel as an M/G/1-like server whose effective service
+time is inflated by a contention factor that grows with utilization:
+
+``delay = T * (1 + C(rho)) / (1 - rho)`` for offered utilization
+``rho < 1``, where ``T`` is the raw transmission time of a message and
+``C(rho)`` models collision-resolution overhead via the slot time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["EthernetModel"]
+
+#: IEEE 802.3 slot time for 10 Mb/s Ethernet, in seconds.
+SLOT_TIME_S = 51.2e-6
+
+
+@dataclass(frozen=True)
+class EthernetModel:
+    """Mean-delay model of a shared 10 Mb/s style Ethernet segment.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Raw channel bandwidth in bits/second (paper: 10 Mb/s).
+    message_bytes:
+        Mean message size on the wire, including framing overhead.
+    slot_time_s:
+        Collision slot time; default is the classic 51.2 us.
+    """
+
+    bandwidth_bps: float = 10e6
+    message_bytes: float = 576.0
+    slot_time_s: float = SLOT_TIME_S
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.message_bytes <= 0:
+            raise ConfigurationError("message size must be positive")
+
+    @property
+    def transmission_time_s(self) -> float:
+        """Raw time on the wire for one mean-sized message."""
+        return self.message_bytes * 8.0 / self.bandwidth_bps
+
+    def utilization(self, messages_per_second: float) -> float:
+        """Offered channel utilization for a given message rate."""
+        if messages_per_second < 0:
+            raise ConfigurationError("message rate must be non-negative")
+        return messages_per_second * self.transmission_time_s
+
+    def mean_delay_s(self, messages_per_second: float) -> float:
+        """Mean one-way message delay at a total offered message rate.
+
+        Raises
+        ------
+        ConfigurationError
+            If the offered load saturates the channel (utilization
+            >= 1), for which no steady state exists.
+        """
+        rho = self.utilization(messages_per_second)
+        if rho >= 1.0:
+            raise ConfigurationError(
+                f"offered Ethernet load rho={rho:.3f} >= 1; no steady state"
+            )
+        t = self.transmission_time_s
+        # Contention overhead: expected collision-resolution time grows
+        # as slot_time * rho / (1 - rho) (geometric retries), plus M/G/1
+        # queueing for the channel itself.
+        contention = self.slot_time_s * rho / (1.0 - rho)
+        queueing = t * rho / (2.0 * (1.0 - rho))
+        return t + contention + queueing
+
+    def mean_delay_ms(self, messages_per_second: float) -> float:
+        """Convenience wrapper returning milliseconds (model units)."""
+        return 1e3 * self.mean_delay_s(messages_per_second)

@@ -1,0 +1,144 @@
+"""Approximate Mean Value Analysis (Schweitzer-Bard fixed point).
+
+The exact MVA recursion is exponential in the number of chains.  The
+Schweitzer approximation replaces the arrival-instant queue length
+``Q_c(N - e_k)`` with an estimate built from the full-population queue
+lengths:
+
+``Q_cj(N - e_k) ~= Q_cj(N)`` for ``j != k`` and
+``Q_ck(N - e_k) ~= (N_k - 1) / N_k * Q_ck(N)``.
+
+This yields a fixed point that is solved by damped successive
+substitution.  Accuracy is typically within a few percent of exact MVA
+for the population sizes used in this package; the ablation benchmark
+``benchmarks/test_bench_ablation_mva.py`` quantifies the gap on the
+paper's site model.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConvergenceError
+from repro.queueing.network import ClosedNetwork, NetworkSolution
+
+__all__ = ["solve_mva_approx"]
+
+
+def solve_mva_approx(
+    network: ClosedNetwork,
+    tolerance: float = 1e-8,
+    max_iterations: int = 10_000,
+    damping: float = 0.5,
+) -> NetworkSolution:
+    """Solve a closed network with the Schweitzer-Bard approximation.
+
+    Parameters
+    ----------
+    network:
+        The closed network to solve.
+    tolerance:
+        Convergence threshold on the max-norm change of per-center,
+        per-chain queue lengths between iterations.
+    max_iterations:
+        Iteration budget before raising :class:`ConvergenceError`.
+    damping:
+        Weight of the new iterate in the damped update
+        (1.0 = undamped).
+
+    Returns
+    -------
+    NetworkSolution
+        Approximate steady-state measures.
+    """
+    chains = network.active_chains
+    centers = network.centers
+    queueing = {c.name for c in network.queueing_centers()}
+    populations = {k: network.populations[k] for k in chains}
+    demands = {(c.name, k): c.demand(k) for c in centers for k in chains}
+
+    n_centers = max(1, len(queueing))
+    # Initial guess: spread each chain evenly over the queueing centers
+    # it actually visits.
+    queue: dict[tuple[str, str], float] = {}
+    for k in chains:
+        visited = [c for c in centers
+                   if c.name in queueing and demands[(c.name, k)] > 0]
+        share = populations[k] / max(1, len(visited)) if visited else 0.0
+        for c in centers:
+            if c.name in queueing:
+                queue[(c.name, k)] = share if c in visited else 0.0
+
+    throughput: dict[str, float] = {k: 0.0 for k in chains}
+    residence: dict[tuple[str, str], float] = {}
+
+    for iteration in range(max_iterations):
+        new_queue: dict[tuple[str, str], float] = {}
+        residence = {}
+        for k in chains:
+            n_k = populations[k]
+            total_r = 0.0
+            for center in centers:
+                d = demands[(center.name, k)]
+                if d == 0.0:
+                    continue
+                if center.is_delay:
+                    r = d
+                else:
+                    arrival_q = 0.0
+                    for j in chains:
+                        q = queue[(center.name, j)]
+                        if j == k:
+                            q *= (n_k - 1) / n_k
+                        arrival_q += q
+                    r = d * (1.0 + arrival_q)
+                residence[(center.name, k)] = r
+                total_r += r
+            throughput[k] = n_k / total_r if total_r > 0 else 0.0
+            for center_name in queueing:
+                r = residence.get((center_name, k), 0.0)
+                new_queue[(center_name, k)] = throughput[k] * r
+
+        delta = max(
+            (abs(new_queue[key] - queue[key]) for key in queue),
+            default=0.0,
+        )
+        for key in queue:
+            queue[key] = (1 - damping) * queue[key] + damping * new_queue[key]
+        if delta < tolerance:
+            break
+    else:
+        raise ConvergenceError(
+            "Schweitzer MVA did not converge",
+            iterations=max_iterations, residual=delta,
+        )
+
+    return _assemble(network, chains, demands, throughput, residence)
+
+
+def _assemble(
+    network: ClosedNetwork,
+    chains: tuple[str, ...],
+    demands: dict[tuple[str, str], float],
+    throughput: dict[str, float],
+    residence: dict[tuple[str, str], float],
+) -> NetworkSolution:
+    """Build a :class:`NetworkSolution` from converged iterates."""
+    full_throughput = {k: throughput.get(k, 0.0) for k in network.chains}
+    response_time: dict[str, float] = {}
+    queue_length: dict[tuple[str, str], float] = {}
+    utilization: dict[tuple[str, str], float] = {}
+    for k in network.chains:
+        x = full_throughput[k]
+        response_time[k] = network.populations[k] / x if x > 0 else 0.0
+    for center in network.centers:
+        for k in chains:
+            r = residence.get((center.name, k), 0.0)
+            x = full_throughput[k]
+            queue_length[(center.name, k)] = x * r
+            utilization[(center.name, k)] = x * demands[(center.name, k)]
+    return NetworkSolution(
+        throughput=full_throughput,
+        response_time=response_time,
+        queue_length=queue_length,
+        residence_time=residence,
+        utilization=utilization,
+    )

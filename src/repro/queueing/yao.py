@@ -1,0 +1,92 @@
+"""Yao's formula for the expected number of blocks (granules) touched.
+
+Paper §5.2 uses the classic result of [YAO77]: a database of ``n``
+records is packed into ``m`` blocks of ``n / m`` records each; selecting
+``k`` distinct records uniformly at random touches
+
+``E[blocks] = m * (1 - C(n - n/m, k) / C(n, k))``
+
+distinct blocks.  The paper's simulator and model both need this to map
+"records accessed per transaction" to "granules locked / disk reads".
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = ["yao_blocks", "expected_granules"]
+
+
+def yao_blocks(total_records: int, blocks: int, selected: int) -> float:
+    """Expected number of distinct blocks hit by a uniform random sample.
+
+    Parameters
+    ----------
+    total_records:
+        Number of records in the database (``n`` in [YAO77]).
+    blocks:
+        Number of blocks the records are packed into (``m``).  Records
+        per block is ``total_records / blocks`` and must be integral.
+    selected:
+        Number of distinct records drawn without replacement (``k``).
+
+    Returns
+    -------
+    float
+        Expected number of distinct blocks containing at least one of
+        the selected records.
+    """
+    if total_records <= 0 or blocks <= 0:
+        raise ConfigurationError("records and blocks must be positive")
+    if total_records % blocks:
+        raise ConfigurationError(
+            f"{total_records} records do not pack evenly into "
+            f"{blocks} blocks"
+        )
+    if selected < 0 or selected > total_records:
+        raise ConfigurationError(
+            f"cannot select {selected} of {total_records} records"
+        )
+    if selected == 0:
+        return 0.0
+    per_block = total_records // blocks
+    # P(a given block untouched) = C(n - n/m, k) / C(n, k)
+    #   = prod_{i=0..k-1} (n - n/m - i) / (n - i)
+    p_untouched = 1.0
+    for i in range(selected):
+        numerator = total_records - per_block - i
+        if numerator <= 0:
+            p_untouched = 0.0
+            break
+        p_untouched *= numerator / (total_records - i)
+    return blocks * (1.0 - p_untouched)
+
+
+def expected_granules(records_accessed: int, granules: int,
+                      records_per_granule: int) -> float:
+    """Expected granules accessed by a transaction (paper's ``g(t)``).
+
+    Thin wrapper over :func:`yao_blocks` in the paper's vocabulary:
+    the site database has ``granules`` granules of
+    ``records_per_granule`` records, and the transaction touches
+    ``records_accessed`` distinct records uniformly at random.
+    """
+    total = granules * records_per_granule
+    if records_accessed > total:
+        raise ConfigurationError(
+            f"transaction touches {records_accessed} records but the "
+            f"site only stores {total}"
+        )
+    return yao_blocks(total, granules, records_accessed)
+
+
+def granules_upper_bound(records_accessed: int, granules: int) -> int:
+    """Trivial upper bound: one granule per record, capped at the db size."""
+    return min(records_accessed, granules)
+
+
+def binomial(n: int, k: int) -> int:
+    """Exact binomial coefficient (exposed for the test suite)."""
+    return math.comb(n, k)

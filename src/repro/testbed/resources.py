@@ -1,0 +1,190 @@
+"""Shared-resource primitives for the testbed simulator.
+
+:class:`FcfsResource` models a single server with a FIFO queue (the CPU
+and disks of a CARAT node).  :class:`Mailbox` is an unbounded FIFO
+message queue with blocking receive (the TM/DM server message loops).
+Both accumulate the statistics the experiments report (busy time for
+utilizations, completion counts for I/O rates).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from repro.errors import SimulationError
+from repro.testbed.des import Event, Simulator, Timeout, Wait
+
+__all__ = ["FcfsResource", "CountingPool", "Mailbox"]
+
+
+class FcfsResource:
+    """A single exponential-or-deterministic server with a FIFO queue.
+
+    Processes call ``yield from resource.use(duration)`` to queue for
+    the server, hold it for ``duration`` time units, and release it.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self._busy = False
+        self._queue: deque[Event] = deque()
+        # Statistics.
+        self.busy_time = 0.0
+        self.completions = 0
+        self._busy_since = 0.0
+        self._stats_start = 0.0
+
+    def reset_stats(self) -> None:
+        """Restart statistics collection at the current time (used to
+        discard the warm-up period)."""
+        self.busy_time = 0.0
+        self.completions = 0
+        self._stats_start = self.sim.now
+        if self._busy:
+            self._busy_since = self.sim.now
+
+    def use(self, duration: float) -> Generator:
+        """Queue for the server, hold it for *duration*, release it."""
+        if duration < 0:
+            raise SimulationError(f"negative service time {duration}")
+        grant = self._request()
+        yield Wait(grant)
+        yield Timeout(duration)
+        self._release()
+
+    def acquire(self) -> Generator:
+        """Queue for the server and hold it until :meth:`release`.
+
+        For critical sections that interleave other waits while holding
+        the resource (e.g. the TM server force-writing a log record).
+        """
+        grant = self._request()
+        yield Wait(grant)
+
+    def release(self) -> None:
+        """Release a hold taken with :meth:`acquire`."""
+        self._release()
+
+    def _request(self) -> Event:
+        grant = self.sim.event()
+        if not self._busy and not self._queue:
+            self._busy = True
+            self._busy_since = self.sim.now
+            grant.fire()
+        else:
+            self._queue.append(grant)
+        return grant
+
+    def _release(self) -> None:
+        if not self._busy:
+            raise SimulationError(f"release of idle resource {self.name}")
+        self.completions += 1
+        if self._queue:
+            # Hand over directly; the server stays busy.
+            grant = self._queue.popleft()
+            grant.fire()
+        else:
+            self._busy = False
+            self.busy_time += self.sim.now - self._busy_since
+
+    def utilization(self, elapsed: float | None = None) -> float:
+        """Fraction of time busy since the last stats reset."""
+        if elapsed is None:
+            elapsed = self.sim.now - self._stats_start
+        if elapsed <= 0:
+            return 0.0
+        busy = self.busy_time
+        if self._busy:
+            busy += self.sim.now - self._busy_since
+        return busy / elapsed
+
+    @property
+    def queue_length(self) -> int:
+        """Customers waiting (excluding the one in service)."""
+        return len(self._queue)
+
+
+class CountingPool:
+    """A pool of interchangeable servers (the DM server pool).
+
+    ``acquire`` blocks while the pool is exhausted; FIFO hand-off on
+    release.
+    """
+
+    def __init__(self, sim: Simulator, name: str, size: int):
+        if size < 1:
+            raise SimulationError(f"pool {name} needs >= 1 server")
+        self.sim = sim
+        self.name = name
+        self.size = size
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+        self.peak_in_use = 0
+        self.wait_count = 0
+
+    def acquire(self) -> Generator:
+        """Take one server; blocks while none are free."""
+        if self._in_use < self.size and not self._waiters:
+            self._grant()
+            yield Timeout(0.0)
+            return
+        self.wait_count += 1
+        waiter = self.sim.event()
+        self._waiters.append(waiter)
+        yield Wait(waiter)
+
+    def _grant(self) -> None:
+        self._in_use += 1
+        self.peak_in_use = max(self.peak_in_use, self._in_use)
+
+    def release(self) -> None:
+        """Return one server; wakes the oldest waiter, if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of empty pool {self.name}")
+        self._in_use -= 1
+        if self._waiters:
+            self._grant()
+            self._waiters.popleft().fire()
+
+    @property
+    def available(self) -> int:
+        """Free servers right now."""
+        return self.size - self._in_use
+
+
+class Mailbox:
+    """Unbounded FIFO message queue with blocking receive."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self._messages: deque[Any] = deque()
+        self._receivers: deque[Event] = deque()
+        self.delivered = 0
+
+    def put(self, message: Any) -> None:
+        """Enqueue a message; wakes one blocked receiver, if any."""
+        self.delivered += 1
+        if self._receivers:
+            receiver = self._receivers.popleft()
+            receiver.fire(message)
+        else:
+            self._messages.append(message)
+
+    def get(self) -> Generator:
+        """Blocking receive: ``msg = yield from mailbox.get()``."""
+        if self._messages:
+            # Yield a zero timeout so receive always costs one
+            # scheduling step; keeps FIFO fairness among receivers.
+            message = self._messages.popleft()
+            yield Timeout(0.0)
+            return message
+        receiver = self.sim.event()
+        self._receivers.append(receiver)
+        message = yield Wait(receiver)
+        return message
+
+    def __len__(self) -> int:
+        return len(self._messages)

@@ -1,0 +1,126 @@
+"""Block storage engine for a site's database partition.
+
+Models the testbed's physical layout (paper §2): the database file is
+an array of fixed-size blocks (granules), each packing
+``records_per_granule`` records; the block is the unit of transfer.
+
+Two levels are distinguished so crash recovery is meaningful:
+
+* the *durable* array — what survives a crash;
+* a *volatile* write cache of blocks written but not yet flushed.
+
+CARAT uses no shared database buffer (paper §3 assumptions), so reads
+always hit the durable array plus the transaction's own unflushed
+writes, and block writes flush through immediately unless the caller
+asks otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["BlockStorage"]
+
+
+class BlockStorage:
+    """An array of blocks, each a tuple of integer record values."""
+
+    def __init__(self, granules: int, records_per_granule: int,
+                 initial_value: int = 0):
+        if granules <= 0 or records_per_granule <= 0:
+            raise ConfigurationError("granules and records must be positive")
+        self.granules = granules
+        self.records_per_granule = records_per_granule
+        self._durable: list[tuple[int, ...]] = [
+            (initial_value,) * records_per_granule for _ in range(granules)
+        ]
+        self._volatile: dict[int, tuple[int, ...]] = {}
+        # Statistics.
+        self.reads = 0
+        self.writes = 0
+        self.flushes = 0
+
+    # -- geometry -------------------------------------------------------------
+
+    @property
+    def records_total(self) -> int:
+        """Number of records stored."""
+        return self.granules * self.records_per_granule
+
+    def granule_of(self, record: int) -> int:
+        """Granule (block) number holding *record*."""
+        self._check_record(record)
+        return record // self.records_per_granule
+
+    def _check_record(self, record: int) -> None:
+        if not 0 <= record < self.records_total:
+            raise SimulationError(f"record {record} out of range")
+
+    def _check_granule(self, granule: int) -> None:
+        if not 0 <= granule < self.granules:
+            raise SimulationError(f"granule {granule} out of range")
+
+    # -- block interface -------------------------------------------------------
+
+    def read_block(self, granule: int) -> tuple[int, ...]:
+        """Read one block (volatile cache first, then durable array)."""
+        self._check_granule(granule)
+        self.reads += 1
+        if granule in self._volatile:
+            return self._volatile[granule]
+        return self._durable[granule]
+
+    def write_block(self, granule: int, content: tuple[int, ...],
+                    flush: bool = True) -> None:
+        """Write one block; ``flush=True`` (default) makes it durable
+        immediately, as in the buffer-less testbed."""
+        self._check_granule(granule)
+        if len(content) != self.records_per_granule:
+            raise SimulationError(
+                f"block write of {len(content)} records; expected "
+                f"{self.records_per_granule}"
+            )
+        self.writes += 1
+        if flush:
+            self._durable[granule] = tuple(content)
+            self._volatile.pop(granule, None)
+            self.flushes += 1
+        else:
+            self._volatile[granule] = tuple(content)
+
+    def flush(self, granule: int) -> None:
+        """Force a volatile block to the durable array."""
+        self._check_granule(granule)
+        if granule in self._volatile:
+            self._durable[granule] = self._volatile.pop(granule)
+            self.flushes += 1
+
+    # -- record interface ------------------------------------------------------
+
+    def read_record(self, record: int) -> int:
+        """Read one record (reads its whole block)."""
+        self._check_record(record)
+        block = self.read_block(self.granule_of(record))
+        return block[record % self.records_per_granule]
+
+    def write_record(self, record: int, value: int,
+                     flush: bool = True) -> tuple[int, ...]:
+        """Update one record in place; returns the block's *before*
+        image (for the journal)."""
+        self._check_record(record)
+        granule = self.granule_of(record)
+        before = self.read_block(granule)
+        slot = record % self.records_per_granule
+        after = before[:slot] + (value,) + before[slot + 1:]
+        self.write_block(granule, after, flush=flush)
+        return before
+
+    # -- failure injection -------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all volatile state (power failure)."""
+        self._volatile.clear()
+
+    def snapshot(self) -> list[tuple[int, ...]]:
+        """Copy of the durable array (test oracle)."""
+        return list(self._durable)

@@ -1,0 +1,105 @@
+"""Structured event tracing for the simulator.
+
+A :class:`Tracer` records timestamped lifecycle events (bounded ring
+buffer, so long runs cannot exhaust memory) that tests and debugging
+sessions can query: everything one transaction did, every deadlock
+resolution, the lock-wait episodes of a site.
+
+Tracing is optional; when no tracer is attached the hooks are no-ops.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TraceEventKind", "TraceEvent", "Tracer"]
+
+
+class TraceEventKind(enum.Enum):
+    """Lifecycle events a trace can contain."""
+
+    BEGIN = "begin"
+    REQUEST_START = "request_start"
+    LOCK_WAIT = "lock_wait"
+    LOCK_GRANT = "lock_grant"
+    DEADLOCK_LOCAL = "deadlock_local"
+    DEADLOCK_GLOBAL = "deadlock_global"
+    ABORT = "abort"
+    PREPARE = "prepare"
+    COMMIT = "commit"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record."""
+
+    time: float
+    kind: TraceEventKind
+    txn: str
+    site: str
+    detail: str = ""
+
+    def format(self) -> str:
+        """Human-readable single-line rendering."""
+        extra = f" {self.detail}" if self.detail else ""
+        return (f"{self.time / 1e3:10.3f}s {self.site:>3} "
+                f"{self.kind.value:<16} {self.txn}{extra}")
+
+
+class Tracer:
+    """Bounded in-memory event trace."""
+
+    def __init__(self, capacity: int = 100_000):
+        if capacity < 1:
+            raise ConfigurationError("trace capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.recorded = 0
+
+    def record(self, time: float, kind: TraceEventKind, txn: str,
+               site: str, detail: str = "") -> None:
+        """Append one event (oldest events fall off when full)."""
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self.recorded += 1
+        self._events.append(TraceEvent(time=time, kind=kind, txn=txn,
+                                       site=site, detail=detail))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, txn: str | None = None,
+               kind: TraceEventKind | None = None,
+               site: str | None = None) -> list[TraceEvent]:
+        """Events filtered by any combination of txn/kind/site."""
+        out = []
+        for event in self._events:
+            if txn is not None and event.txn != txn:
+                continue
+            if kind is not None and event.kind is not kind:
+                continue
+            if site is not None and event.site != site:
+                continue
+            out.append(event)
+        return out
+
+    def transaction_timeline(self, txn: str) -> list[TraceEvent]:
+        """All events of one transaction, in time order."""
+        return self.events(txn=txn)
+
+    def outcomes(self, txn: str) -> list[TraceEventKind]:
+        """The terminal events (COMMIT/ABORT) of one transaction."""
+        terminal = (TraceEventKind.COMMIT, TraceEventKind.ABORT)
+        return [e.kind for e in self.events(txn=txn)
+                if e.kind in terminal]
+
+    def dump(self, events: Iterable[TraceEvent] | None = None) -> str:
+        """Render events (default: everything) as text."""
+        events = self._events if events is None else events
+        return "\n".join(event.format() for event in events)

@@ -1,0 +1,185 @@
+"""Before-image write-ahead journal and crash recovery (paper §2).
+
+CARAT journals the *before image* of every block an update transaction
+overwrites.  The WAL rule: the before image must be durable before the
+block itself is overwritten in place.  Undo by before-image restore is
+only sound under strict two-phase locking — an uncommitted block has
+exactly one writer — which CARAT's lock manager guarantees.  Commit durability comes from a
+forced commit record; distributed transactions additionally force a
+PREPARE record at each slave during two-phase commit, after which the
+slave may no longer unilaterally abort.
+
+Recovery after a crash (:func:`recover`):
+
+* transactions with a durable COMMIT record need nothing (before
+  images are only used for undo — CARAT propagates updates in place);
+* transactions with a durable PREPARE but no COMMIT/ABORT are
+  *in doubt* and are reported to the caller (their locks would be
+  re-acquired; the coordinator decides their fate);
+* every other transaction is rolled back by restoring its before
+  images in reverse log order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import RecoveryError
+from repro.testbed.storage import BlockStorage
+
+__all__ = ["RecordType", "LogRecord", "Journal", "recover",
+           "RecoveryReport"]
+
+
+class RecordType(enum.Enum):
+    """Journal record kinds."""
+
+    BEGIN = "begin"
+    BEFORE_IMAGE = "before_image"
+    PREPARE = "prepare"
+    COMMIT = "commit"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One journal record.
+
+    ``granule``/``image`` are only meaningful for BEFORE_IMAGE records.
+    """
+
+    lsn: int
+    kind: RecordType
+    txn: str
+    granule: int | None = None
+    image: tuple[int, ...] | None = None
+
+
+class Journal:
+    """Append-only before-image journal with an explicit durable prefix.
+
+    ``append`` adds to the volatile tail; ``force`` makes everything
+    appended so far durable.  A crash discards the volatile tail.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[LogRecord] = []
+        self._durable_upto = 0
+        # Statistics.
+        self.forces = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def durable_records(self) -> list[LogRecord]:
+        """The crash-surviving prefix."""
+        return self._records[: self._durable_upto]
+
+    def append(self, kind: RecordType, txn: str,
+               granule: int | None = None,
+               image: tuple[int, ...] | None = None) -> LogRecord:
+        """Append a record to the volatile tail."""
+        record = LogRecord(lsn=len(self._records), kind=kind, txn=txn,
+                           granule=granule, image=image)
+        self._records.append(record)
+        return record
+
+    def force(self) -> int:
+        """Make every appended record durable; returns records flushed."""
+        flushed = len(self._records) - self._durable_upto
+        self._durable_upto = len(self._records)
+        if flushed:
+            self.forces += 1
+        return flushed
+
+    def is_durable(self, record: LogRecord) -> bool:
+        """True when *record* would survive a crash."""
+        return record.lsn < self._durable_upto
+
+    def crash(self) -> None:
+        """Lose the volatile tail."""
+        del self._records[self._durable_upto:]
+
+    # -- undo -------------------------------------------------------------------
+
+    def before_images(self, txn: str,
+                      durable_only: bool = False) -> list[LogRecord]:
+        """The transaction's BEFORE_IMAGE records, oldest first."""
+        source = self.durable_records if durable_only else self._records
+        return [r for r in source
+                if r.txn == txn and r.kind is RecordType.BEFORE_IMAGE]
+
+    def rollback(self, txn: str, storage: BlockStorage,
+                 durable_only: bool = False) -> int:
+        """Restore the transaction's before images in reverse order.
+
+        Returns the number of blocks restored (first-image-per-granule
+        semantics: only the *oldest* image of each granule matters,
+        applied in reverse order this falls out naturally).
+        """
+        restored = 0
+        for record in reversed(self.before_images(txn, durable_only)):
+            if record.granule is None or record.image is None:
+                raise RecoveryError(f"malformed before-image {record}")
+            storage.write_block(record.granule, record.image, flush=True)
+            restored += 1
+        return restored
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Outcome of :func:`recover`."""
+
+    committed: tuple[str, ...]
+    rolled_back: tuple[str, ...]
+    in_doubt: tuple[str, ...]
+    blocks_restored: int
+
+
+def recover(journal: Journal, storage: BlockStorage) -> RecoveryReport:
+    """Restore a consistent database state from the durable journal.
+
+    Applies undo for every transaction without a durable COMMIT,
+    leaving prepared-but-undecided transactions in doubt (their
+    effects are *also* undone here, pessimistically, because CARAT
+    journals before images and re-does nothing; an in-doubt
+    transaction that the coordinator later commits would be replayed
+    by the application layer — the report surfaces them so tests can
+    assert the protocol's obligations).
+    """
+    storage.crash()
+    journal.crash()
+    records = journal.durable_records
+    committed: set[str] = set()
+    aborted: set[str] = set()
+    prepared: set[str] = set()
+    seen: set[str] = set()
+    for record in records:
+        seen.add(record.txn)
+        if record.kind is RecordType.COMMIT:
+            committed.add(record.txn)
+        elif record.kind is RecordType.ABORT:
+            aborted.add(record.txn)
+        elif record.kind is RecordType.PREPARE:
+            prepared.add(record.txn)
+
+    in_doubt = prepared - committed - aborted
+    to_undo = seen - committed
+    blocks = 0
+    # Undo strictly in reverse global log order so overlapping
+    # transactions restore the oldest surviving image last.
+    for record in reversed(records):
+        if (record.kind is RecordType.BEFORE_IMAGE
+                and record.txn in to_undo):
+            if record.granule is None or record.image is None:
+                raise RecoveryError(f"malformed before-image {record}")
+            storage.write_block(record.granule, record.image, flush=True)
+            blocks += 1
+    return RecoveryReport(
+        committed=tuple(sorted(committed)),
+        rolled_back=tuple(sorted(to_undo - in_doubt)),
+        in_doubt=tuple(sorted(in_doubt)),
+        blocks_restored=blocks,
+    )

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.parameters import paper_sites
+from repro.model.workload import lb8, mb4, mb8, ub6
+
+
+@pytest.fixture(scope="session")
+def sites():
+    """The paper's two-node configuration (Table 2)."""
+    return paper_sites()
+
+
+@pytest.fixture(scope="session")
+def quick_sim_kwargs():
+    """Short simulation window for fast integration tests."""
+    return {"warmup_ms": 10_000.0, "duration_ms": 60_000.0, "seed": 11}
+
+
+@pytest.fixture(params=["LB8", "MB4", "MB8", "UB6"])
+def any_workload(request):
+    """Each standard workload at the paper's default size."""
+    factory = {"LB8": lb8, "MB4": mb4, "MB8": mb8, "UB6": ub6}
+    return factory[request.param](8)

@@ -1,0 +1,88 @@
+"""Tests for the benchmark helper module."""
+
+import pytest
+
+from repro.experiments.bench import (attach_series, cached_run,
+                                     run_repro, shape_checks)
+from repro.experiments.runner import ExperimentSpec
+from repro.model.workload import lb8, mb4
+
+
+class _FakeBenchmark:
+    def __init__(self):
+        self.extra_info = {}
+
+
+@pytest.fixture
+def spec():
+    return ExperimentSpec(exp_id="mini", title="mini",
+                          workload_factory=lb8, sweep=(4, 8),
+                          sites_of_interest=("A", "B"))
+
+
+class TestRunRepro:
+    def test_model_only_run(self, spec, sites):
+        result = run_repro(spec, sites, (1_000.0, 10_000.0),
+                           run_simulation=False)
+        assert len(result.points) == 4
+        assert all(p.model_xput > 0 for p in result.points)
+
+    def test_cached_run_reuses_sweep(self, sites):
+        import repro.experiments.bench as bench
+        bench._CACHE.clear()
+        spec_a = ExperimentSpec(exp_id="a", title="a",
+                                workload_factory=mb4, sweep=(4,),
+                                sites_of_interest=("A",))
+        spec_b = ExperimentSpec(exp_id="b", title="b",
+                                workload_factory=mb4, sweep=(4,),
+                                sites_of_interest=("B",))
+        window = (1_000.0, 20_000.0)
+        first = cached_run(spec_a, sites, window)
+        second = cached_run(spec_b, sites, window)
+        # Same underlying sweep object: the cache hit.
+        assert first.points is second.points
+        assert len(bench._CACHE) == 1
+
+    def test_different_window_is_new_entry(self, sites):
+        import repro.experiments.bench as bench
+        bench._CACHE.clear()
+        spec = ExperimentSpec(exp_id="a", title="a",
+                              workload_factory=mb4, sweep=(4,),
+                              sites_of_interest=("A",))
+        cached_run(spec, sites, (1_000.0, 20_000.0))
+        cached_run(spec, sites, (1_000.0, 30_000.0))
+        assert len(bench._CACHE) == 2
+
+
+class TestHelpers:
+    def test_attach_series(self, spec, sites):
+        result = run_repro(spec, sites, (1_000.0, 10_000.0),
+                           run_simulation=False)
+        benchmark = _FakeBenchmark()
+        attach_series(benchmark, result, "xput")
+        assert "model_A" in benchmark.extra_info
+        assert len(benchmark.extra_info["model_A"]) == 2
+
+    def test_shape_checks_pass_on_model_run(self, spec, sites):
+        result = run_repro(spec, sites, (1_000.0, 10_000.0),
+                           run_simulation=False)
+        shape_checks(result, "xput")   # must not raise
+
+    def test_shape_checks_detect_nonmonotone(self, spec, sites):
+        from repro.experiments.runner import (ExperimentResult,
+                                              SweepPoint)
+
+        def point(n, value):
+            return SweepPoint(
+                n=n, site="A", model_xput=value,
+                model_record_xput=1, model_cpu=0.5, model_dio=1,
+                sim_xput=0, sim_record_xput=0, sim_cpu=0, sim_dio=0,
+                sim_aborts_per_commit=0)
+
+        bad_spec = ExperimentSpec(exp_id="x", title="x",
+                                  workload_factory=lb8, sweep=(4, 8),
+                                  sites_of_interest=("A",))
+        bad = ExperimentResult(spec=bad_spec,
+                               points=(point(4, 0.5), point(8, 0.9)))
+        with pytest.raises(AssertionError):
+            shape_checks(bad, "xput")

@@ -1,0 +1,50 @@
+"""Tests for the experiment catalog and paper reference data."""
+
+import pytest
+
+from repro.experiments.catalog import (EXPERIMENTS, PAPER_TABLE3,
+                                       PAPER_TABLE4, PAPER_TABLE5,
+                                       experiment)
+from repro.experiments.runner import PAPER_SWEEP
+
+
+class TestCatalog:
+    def test_every_paper_artifact_present(self):
+        expected = {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+                    "tab3", "tab4", "tab5"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_lookup_helper(self):
+        assert experiment("tab3").exp_id == "tab3"
+        with pytest.raises(KeyError):
+            experiment("tab99")
+
+    def test_figures_5_to_7_report_node_b_only(self):
+        for exp_id in ("fig5", "fig6", "fig7"):
+            assert EXPERIMENTS[exp_id].sites_of_interest == ("B",)
+
+    def test_tables_cover_full_sweep(self):
+        for table in (PAPER_TABLE3, PAPER_TABLE4):
+            for column in ("measured", "model"):
+                keys = table[column]
+                assert {k[0] for k in keys} == set(PAPER_SWEEP)
+                assert {k[1] for k in keys} == {"A", "B"}
+
+    def test_table5_covers_all_types(self):
+        for column in ("measured", "model"):
+            keys = PAPER_TABLE5[column]
+            assert {k[1] for k in keys} == {"LRO", "LU", "DRO", "DU"}
+
+    def test_paper_numbers_sane(self):
+        """Published throughput decreases with n in every column."""
+        for table in (PAPER_TABLE3, PAPER_TABLE4):
+            for column in ("measured", "model"):
+                for node in ("A", "B"):
+                    xputs = [table[column][(n, node)][0]
+                             for n in PAPER_SWEEP]
+                    assert xputs == sorted(xputs, reverse=True)
+
+    def test_workload_factories_attached(self):
+        assert EXPERIMENTS["tab3"].workload_factory(4).name == "MB8"
+        assert EXPERIMENTS["tab4"].workload_factory(4).name == "UB6"
+        assert EXPERIMENTS["fig5"].workload_factory(4).name == "LB8"

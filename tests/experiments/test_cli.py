@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_model_defaults(self):
+        args = build_parser().parse_args(["model"])
+        assert args.workload == "MB8"
+        assert args.requests == 8
+
+    def test_experiment_validates_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "tab99"])
+
+    def test_simulate_options(self):
+        args = build_parser().parse_args(
+            ["simulate", "--workload", "LB8", "-n", "12",
+             "--seed", "42", "--duration-s", "30"])
+        assert args.workload == "LB8"
+        assert args.requests == 12
+        assert args.seed == 42
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "tab3" in out and "fig5" in out and "LB8" in out
+
+    def test_model_command(self, capsys):
+        assert main(["model", "--workload", "MB4", "-n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "TR-XPUT" in out and "node A" in out and "node B" in out
+
+    def test_simulate_command_quick(self, capsys):
+        assert main(["simulate", "--workload", "MB4", "-n", "4",
+                     "--duration-s", "30", "--warmup-s", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Total-DIO" in out
+
+    def test_experiment_model_only(self, capsys):
+        assert main(["experiment", "tab5", "--model-only"]) == 0
+        out = capsys.readouterr().out
+        assert "LRO" in out and "mod-A" in out

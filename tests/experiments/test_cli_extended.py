@@ -1,0 +1,52 @@
+"""Tests for the newer CLI subcommands (export, sensitivity, report)."""
+
+import csv
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestExportCommand:
+    def test_to_stdout(self, capsys):
+        assert main(["export", "tab3", "--model-only"]) == 0
+        out = capsys.readouterr().out
+        rows = list(csv.DictReader(io.StringIO(out)))
+        assert len(rows) == 10
+        assert rows[0]["exp_id"] == "tab3"
+
+    def test_to_file(self, tmp_path, capsys):
+        target = tmp_path / "out.csv"
+        assert main(["export", "fig5", "--model-only",
+                     "--output", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        rows = list(csv.DictReader(target.open()))
+        assert len(rows) == 5           # Node B only
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export", "nope"])
+
+
+class TestSensitivityCommand:
+    def test_default_sweep(self, capsys):
+        assert main(["sensitivity", "--workload", "MB4", "-n", "4"]) \
+            == 0
+        out = capsys.readouterr().out
+        assert "elasticity" in out
+        assert "block_io_ms=28" in out
+
+    def test_custom_values(self, capsys):
+        assert main(["sensitivity", "--workload", "LB8", "-n", "4",
+                     "--field", "granules",
+                     "--values", "1000", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "granules=1000" in out
+
+
+class TestReportCommand:
+    def test_parser_roundtrip(self):
+        args = build_parser().parse_args(["report", "--quick"])
+        assert args.quick
+        assert args.output == "EXPERIMENTS.md"

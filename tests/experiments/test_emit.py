@@ -1,0 +1,83 @@
+"""Tests for the EXPERIMENTS.md generator's formatting helpers."""
+
+import pytest
+
+from repro.experiments.catalog import experiment
+from repro.experiments.emit import (_figure_markdown, _per_type_markdown,
+                                    _summary_markdown)
+from repro.experiments.runner import (ExperimentResult, ExperimentSpec,
+                                      SweepPoint)
+from repro.model.types import BaseType
+from repro.model.workload import mb8
+
+
+def _point(n, site, value=1.0):
+    by_type = {base: value / 4 for base in BaseType}
+    return SweepPoint(
+        n=n, site=site,
+        model_xput=value, model_record_xput=32 * value,
+        model_cpu=0.5, model_dio=30.0,
+        sim_xput=0.9 * value, sim_record_xput=29 * value,
+        sim_cpu=0.45, sim_dio=28.0, sim_aborts_per_commit=0.1,
+        model_by_type=by_type, sim_by_type=by_type,
+    )
+
+
+@pytest.fixture
+def tab3_result():
+    spec = experiment("tab3")
+    points = tuple(_point(n, site)
+                   for n in (4, 8, 12, 16, 20) for site in ("A", "B"))
+    return ExperimentResult(spec=spec, points=points)
+
+
+@pytest.fixture
+def tab5_result():
+    spec = experiment("tab5")
+    points = tuple(_point(n, site)
+                   for n in (4, 8, 12, 16, 20) for site in ("A", "B"))
+    return ExperimentResult(spec=spec, points=points)
+
+
+class TestMarkdownTables:
+    def test_summary_rows_and_paper_columns(self, tab3_result):
+        lines = _summary_markdown(tab3_result)
+        assert lines[0].startswith("| n | node |")
+        # 2 header rows + 10 data rows.
+        assert len(lines) == 12
+        # Published numbers interleaved.
+        assert "1.11" in "\n".join(lines)
+        assert "35.1" in "\n".join(lines)
+
+    def test_per_type_rows(self, tab5_result):
+        lines = _per_type_markdown(tab5_result)
+        body = "\n".join(lines)
+        assert body.count("LRO") == 5   # one row per n
+        assert body.count("DU") == 5
+        assert "0.46" in body           # paper model value at n=4
+
+    def test_figure_markdown_mentions_shape_target(self):
+        spec = ExperimentSpec(
+            exp_id="fig5", title="t", workload_factory=mb8,
+            sweep=(4, 8), sites_of_interest=("B",))
+        points = tuple(_point(n, "B") for n in (4, 8))
+        result = ExperimentResult(spec=spec, points=points)
+        lines = _figure_markdown(result, "fig5")
+        body = "\n".join(lines)
+        assert "image-only" in body
+        assert "knee" in body
+        assert "| 4 |" in body
+
+
+class TestCliIntegration:
+    def test_report_parser(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["report", "--quick", "--output", "/tmp/exp.md"])
+        assert args.quick and args.output == "/tmp/exp.md"
+
+    def test_calibrate_parser(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["calibrate", "--evaluations", "5"])
+        assert args.evaluations == 5

@@ -1,0 +1,73 @@
+"""Tests for the sensitivity-analysis utilities."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.sensitivity import (elasticity, sweep_basic_cost,
+                                           sweep_protocol_field,
+                                           sweep_site_field)
+from repro.model.types import BaseType
+from repro.model.workload import mb4
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return mb4(8)
+
+
+class TestSiteFieldSweep:
+    def test_block_io_sweep_monotone(self, workload, sites):
+        """Faster disks -> more throughput, with elasticity close to
+        -1 in the disk-bound regime."""
+        result = sweep_site_field(workload, sites, "block_io_ms",
+                                  [20.0, 30.0, 45.0])
+        series = result.series("A")
+        values = [x for _v, x in series]
+        assert values == sorted(values, reverse=True)
+        slope = elasticity(result, "A")
+        assert -1.3 < slope < -0.5
+
+    def test_granules_sweep_affects_contention(self, workload, sites):
+        """A bigger database dilutes conflicts: throughput does not
+        decrease."""
+        result = sweep_site_field(workload.with_requests(16), sites,
+                                  "granules", [1000, 3000, 9000])
+        series = [x for _v, x in result.series("A")]
+        assert series[0] <= series[-1]
+
+    def test_empty_sweep_rejected(self, workload, sites):
+        with pytest.raises(ConfigurationError):
+            sweep_site_field(workload, sites, "block_io_ms", [])
+
+
+class TestProtocolAndTable2Sweeps:
+    def test_commit_ios_sweep(self, workload, sites):
+        """More forced log writes per commit -> lower throughput."""
+        result = sweep_protocol_field(workload, sites,
+                                      "coordinator_commit_ios",
+                                      [0, 1, 3])
+        series = [x for _v, x in result.series("A")]
+        assert series[0] >= series[-1]
+
+    def test_lu_disk_cost_sweep(self, workload, sites):
+        result = sweep_basic_cost(workload, sites, BaseType.LU,
+                                  "dmio_disk", [56.0, 84.0, 140.0])
+        series = [x for _v, x in result.series("A")]
+        assert series == sorted(series, reverse=True)
+        assert result.parameter == "table2.LU.dmio_disk"
+
+    def test_points_carry_all_measures(self, workload, sites):
+        result = sweep_protocol_field(workload, sites, "commit_cpu",
+                                      [6.0])
+        point = result.points[0]
+        assert set(point.throughput_per_s) == {"A", "B"}
+        assert 0.0 < point.cpu_utilization["A"] < 1.0
+        assert point.dio_rate_per_s["B"] > 0.0
+
+
+class TestElasticity:
+    def test_rejects_degenerate_input(self, workload, sites):
+        result = sweep_site_field(workload, sites, "block_io_ms",
+                                  [28.0])
+        with pytest.raises(ConfigurationError):
+            elasticity(result, "A")

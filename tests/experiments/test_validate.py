@@ -1,0 +1,78 @@
+"""Tests for the agreement-statistics module."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.catalog import experiment
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.validate import (compare_series, model_vs_paper,
+                                        model_vs_sim)
+
+
+class TestCompareSeries:
+    def test_perfect_agreement(self):
+        stats = compare_series([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert stats.mape == 0.0
+        assert stats.bias == 0.0
+        assert stats.worst_ratio == 1.0
+
+    def test_systematic_overprediction(self):
+        stats = compare_series([1.1, 2.2], [1.0, 2.0])
+        assert stats.bias == pytest.approx(0.10)
+        assert stats.mape == pytest.approx(0.10)
+        assert stats.worst_ratio == pytest.approx(1.1)
+
+    def test_mixed_errors_cancel_in_bias_not_mape(self):
+        stats = compare_series([1.1, 0.9], [1.0, 1.0])
+        assert stats.bias == pytest.approx(0.0)
+        assert stats.mape == pytest.approx(0.10)
+
+    def test_zero_reference_pairs_skipped(self):
+        stats = compare_series([1.0, 5.0], [1.0, 0.0])
+        assert stats.points == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            compare_series([1.0], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            compare_series([0.0], [0.0])
+
+    def test_summary_readable(self):
+        text = compare_series([1.2], [1.0]).summary()
+        assert "MAPE 20.0%" in text and "+20.0%" in text
+
+
+class TestAgainstPaper:
+    @pytest.fixture(scope="class")
+    def tab3_model_only(self, sites):
+        return run_experiment(experiment("tab3"), sites=sites,
+                              run_simulation=False)
+
+    def test_model_vs_published_model_tight_on_cpu(self,
+                                                   tab3_model_only):
+        stats = model_vs_paper(tab3_model_only, "model",
+                               metric_index=1)
+        assert stats.points == 10
+        assert stats.mape < 0.20
+
+    def test_model_vs_published_dio(self, tab3_model_only):
+        stats = model_vs_paper(tab3_model_only, "model",
+                               metric_index=2)
+        assert stats.mape < 0.20
+
+    def test_throughput_bias_is_positive(self, tab3_model_only):
+        """Our model runs above the published model column (the
+        documented lock-wait closure difference) — the bias statistic
+        captures it as a systematic, not random, deviation."""
+        stats = model_vs_paper(tab3_model_only, "model",
+                               metric_index=0)
+        assert stats.bias > 0.0
+
+    def test_figures_have_no_reference(self, sites):
+        result = ExperimentResult(spec=experiment("fig5"), points=())
+        with pytest.raises(ConfigurationError):
+            model_vs_paper(result)
+
+    def test_model_vs_sim_requires_sim_column(self, tab3_model_only):
+        with pytest.raises(ConfigurationError):
+            model_vs_sim(tab3_model_only)   # sim column is all zeros

@@ -1,0 +1,40 @@
+"""Tests for the protocol-cost calibration procedure."""
+
+from repro.model.calibration import (PAPER_MB8_N4_TARGET,
+                                     CalibrationTarget,
+                                     calibrate_protocol)
+from repro.model.parameters import ProtocolCosts
+from repro.model.workload import mb8
+
+
+class TestCalibration:
+    def test_shipped_defaults_already_fit_the_target(self):
+        """The packaged ProtocolCosts defaults came from this very
+        procedure, so a short refinement run must confirm a good fit
+        (RMS relative error on 6 measures below ~10%)."""
+        result = calibrate_protocol(max_evaluations=10)
+        assert result.objective < 0.2
+        # CPU and DIO residuals at the calibration point are tight.
+        for site in ("A", "B"):
+            _xput_r, cpu_r, dio_r = result.residuals[site]
+            assert abs(cpu_r) < 0.10
+            assert abs(dio_r) < 0.10
+
+    def test_optimizer_recovers_from_perturbed_start(self):
+        """Starting from deliberately wrong constants, the fit must
+        move the objective in the right direction."""
+        bad = ProtocolCosts(tbegin_cpu=80.0, dbopen_cpu_per_site=80.0,
+                            commit_cpu=60.0)
+        from repro.model.calibration import _objective_components
+        before, _ = _objective_components(bad, PAPER_MB8_N4_TARGET)
+        result = calibrate_protocol(initial=bad, max_evaluations=40)
+        assert result.objective < before
+
+    def test_custom_target(self):
+        target = CalibrationTarget(
+            workload=mb8(4),
+            per_site={"A": (1.3, 0.55, 35.0), "B": (0.95, 0.42, 25.0)},
+        )
+        result = calibrate_protocol(target=target, max_evaluations=10)
+        assert result.objective < 0.2
+        assert result.iterations >= 1

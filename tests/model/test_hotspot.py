@@ -1,0 +1,74 @@
+"""Tests for the hot-spot (nonuniform access) extension."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.solver import solve_model
+from repro.model.types import ChainType
+from repro.model.workload import WorkloadSpec, mb8
+from repro.model.parameters import paper_sites
+
+
+class TestHotspotSpec:
+    def test_default_is_uniform(self):
+        w = mb8(8)
+        assert not w.is_hotspot
+        assert w.collision_multiplier() == 1.0
+
+    def test_with_hotspot_copies(self):
+        w = mb8(8).with_hotspot(0.8, 0.2)
+        assert w.is_hotspot
+        assert w.hot_access_fraction == 0.8
+        assert mb8(8).hot_access_fraction == 0.0
+
+    def test_collision_multiplier_80_20(self):
+        w = mb8(8).with_hotspot(0.8, 0.2)
+        assert w.collision_multiplier() == pytest.approx(
+            0.64 / 0.2 + 0.04 / 0.8)
+
+    def test_multiplier_grows_with_skew(self):
+        mild = mb8(8).with_hotspot(0.6, 0.4).collision_multiplier()
+        harsh = mb8(8).with_hotspot(0.9, 0.1).collision_multiplier()
+        assert 1.0 < mild < harsh
+
+    def test_no_skew_edge_is_uniform_multiplier(self):
+        """a == b means no effective skew: multiplier 1."""
+        w = mb8(8).with_hotspot(0.5, 0.5)
+        assert w.collision_multiplier() == pytest.approx(1.0)
+
+    def test_with_requests_preserves_hotspot(self):
+        w = mb8(8).with_hotspot(0.8, 0.2).with_requests(12)
+        assert w.is_hotspot and w.requests_per_txn == 12
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mb8(8).with_hotspot(0.8, 0.0)
+        with pytest.raises(ConfigurationError):
+            mb8(8).with_hotspot(1.0, 0.2)
+        with pytest.raises(ConfigurationError):
+            mb8(8).with_hotspot(0.0, 0.2)
+
+
+class TestHotspotModel:
+    def test_skew_raises_contention(self, sites):
+        uniform = solve_model(mb8(8), sites, max_iterations=1000)
+        skewed = solve_model(mb8(8).with_hotspot(0.8, 0.2), sites,
+                             max_iterations=1000)
+        lu_uniform = uniform.site("A").chains[ChainType.LU]
+        lu_skewed = skewed.site("A").chains[ChainType.LU]
+        assert lu_skewed.lock_state.blocking > lu_uniform.lock_state.blocking
+        assert lu_skewed.abort_probability > lu_uniform.abort_probability
+        assert (skewed.site("A").transaction_throughput_per_s
+                < uniform.site("A").transaction_throughput_per_s)
+
+    def test_skew_in_simulator(self, sites):
+        from repro.testbed import simulate
+        uniform = simulate(mb8(12), sites, seed=41, warmup_ms=10_000.0,
+                           duration_ms=180_000.0)
+        skewed = simulate(mb8(12).with_hotspot(0.9, 0.1), sites,
+                          seed=41, warmup_ms=10_000.0,
+                          duration_ms=180_000.0)
+        waits_uniform = sum(s.lock_waits
+                            for s in uniform.sites.values())
+        waits_skewed = sum(s.lock_waits for s in skewed.sites.values())
+        assert waits_skewed > waits_uniform

@@ -1,0 +1,227 @@
+"""Tests for the lock-contention sub-model (paper §5.4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.model.locking import (average_locks_held, blocker_distribution,
+                                 blocking_probability, blocking_ratio,
+                                 deadlock_victim_probability,
+                                 lock_wait_probability, lock_wait_time,
+                                 locks_at_abort)
+from repro.model.types import ChainType
+
+prob = st.floats(0.0, 0.9, allow_nan=False)
+
+
+class TestLocksAtAbort:
+    def test_uniform_limit(self):
+        """p -> 0: aborts uniform over the lock sequence, E[Y] = (N-1)/2."""
+        assert locks_at_abort(11, 0.0) == pytest.approx(5.0)
+
+    def test_certain_abort_holds_nothing(self):
+        assert locks_at_abort(10, 1.0) == pytest.approx(0.0)
+
+    def test_matches_direct_truncated_geometric(self):
+        n, p = 6, 0.2
+        x = 1 - p
+        weights = [x ** i * p for i in range(n)]
+        total = sum(weights)
+        direct = sum(i * w for i, w in enumerate(weights)) / total
+        assert locks_at_abort(n, p) == pytest.approx(direct, rel=1e-9)
+
+    @given(n=st.integers(1, 200), p=prob)
+    @settings(max_examples=80)
+    def test_bounds(self, n, p):
+        y = locks_at_abort(n, p)
+        assert 0.0 <= y <= (n - 1) / 2 + 1e-9
+
+    def test_rejects_zero_locks(self):
+        with pytest.raises(ConfigurationError):
+            locks_at_abort(0, 0.1)
+
+
+class TestAverageLocksHeld:
+    def test_eq12_reduction_at_zero_aborts(self):
+        """P_a = 0: L_h = N/2 * Rs / (Rs + Z) (paper Eq. 12)."""
+        lh = average_locks_held(20, 0.0, 0.5, response_success=100.0,
+                                think_time=100.0)
+        assert lh == pytest.approx(20 / 2 * 0.5)
+
+    def test_zero_think_time_simplification(self):
+        """Z = 0, P_a = 0: exactly N/2."""
+        assert average_locks_held(16, 0.0, 0.5, 50.0, 0.0) == \
+            pytest.approx(8.0)
+
+    def test_aborts_reduce_locks_held(self):
+        clean = average_locks_held(16, 0.0, 0.5, 50.0, 0.0)
+        dirty = average_locks_held(16, 0.5, 0.5, 50.0, 0.0)
+        assert dirty < clean
+
+    def test_zero_response_means_zero(self):
+        assert average_locks_held(16, 0.0, 0.5, 0.0, 10.0) == 0.0
+
+    @given(
+        locks=st.floats(1.0, 100.0),
+        pa=st.floats(0.0, 0.9),
+        sigma=st.floats(0.0, 1.0),
+        rs=st.floats(1.0, 1e4),
+        z=st.floats(0.0, 1e4),
+    )
+    @settings(max_examples=100)
+    def test_bounded_by_half_locks(self, locks, pa, sigma, rs, z):
+        lh = average_locks_held(locks, pa, sigma, rs, z)
+        assert 0.0 <= lh <= locks / 2 + 1e-9
+
+
+def _held(lro=0.0, lu=0.0, duc=0.0, dus=0.0, droc=0.0, dros=0.0):
+    return {ChainType.LRO: lro, ChainType.LU: lu, ChainType.DUC: duc,
+            ChainType.DUS: dus, ChainType.DROC: droc,
+            ChainType.DROS: dros}
+
+
+def _pops(**kwargs):
+    pops = {chain: 0 for chain in ChainType}
+    for name, count in kwargs.items():
+        pops[ChainType[name]] = count
+    return pops
+
+
+class TestBlockingProbability:
+    def test_reader_only_blocked_by_exclusive_holders(self):
+        """Eq. 15 first branch: shared requests conflict only with
+        update-held (exclusive) locks."""
+        pops = _pops(LRO=4, LU=2)
+        held = _held(lro=10.0, lu=5.0)
+        pb = blocking_probability(ChainType.LRO, pops, held,
+                                  granules=100)
+        assert pb == pytest.approx(2 * 5.0 / 100)
+
+    def test_writer_blocked_by_everyone_minus_self(self):
+        pops = _pops(LRO=4, LU=2)
+        held = _held(lro=10.0, lu=5.0)
+        pb = blocking_probability(ChainType.LU, pops, held, granules=100)
+        assert pb == pytest.approx((4 * 10 + 2 * 5 - 5) / 100)
+
+    def test_reader_never_blocked_in_read_only_system(self):
+        pops = _pops(LRO=8)
+        held = _held(lro=20.0)
+        assert blocking_probability(ChainType.LRO, pops, held, 100) == 0.0
+
+    def test_capped_at_one(self):
+        pops = _pops(LU=50)
+        held = _held(lu=50.0)
+        assert blocking_probability(ChainType.LU, pops, held, 10) == 1.0
+
+    def test_eq16_lock_wait_probability(self):
+        assert lock_wait_probability(0.1, 5) == pytest.approx(
+            1 - 0.9 ** 5)
+        assert lock_wait_probability(0.0, 100) == 0.0
+
+
+class TestBlockerDistribution:
+    def test_normalizes(self):
+        pops = _pops(LRO=2, LU=3, DUC=1)
+        held = _held(lro=4.0, lu=6.0, duc=2.0)
+        dist = blocker_distribution(ChainType.LU, pops, held)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_reader_distribution_excludes_readers(self):
+        pops = _pops(LRO=2, LU=3)
+        held = _held(lro=4.0, lu=6.0)
+        dist = blocker_distribution(ChainType.LRO, pops, held)
+        assert dist[ChainType.LRO] == 0.0
+        assert dist[ChainType.LU] == pytest.approx(1.0)
+
+    def test_all_zero_when_no_conflicting_mass(self):
+        dist = blocker_distribution(ChainType.LRO, _pops(LRO=4),
+                                    _held(lro=9.0))
+        assert all(v == 0.0 for v in dist.values())
+
+
+class TestDeadlockVictimProbability:
+    def test_two_readers_never_deadlock(self):
+        pops = _pops(LRO=5)
+        held = _held(lro=10.0)
+        blocked = {chain: 0.5 for chain in ChainType}
+        assert deadlock_victim_probability(ChainType.LRO, pops, held,
+                                           blocked) == 0.0
+
+    def test_writers_can_deadlock(self):
+        pops = _pops(LU=4)
+        held = _held(lu=10.0)
+        blocked = {ChainType.LU: 0.4}
+        pd = deadlock_victim_probability(ChainType.LU, pops, held,
+                                         blocked)
+        assert 0.0 < pd < 1.0
+
+    def test_reader_writer_deadlock_possible(self):
+        """A reader blocked by a writer that waits on the reader's
+        shared lock is a legal two-cycle."""
+        pops = _pops(LRO=2, LU=2)
+        held = _held(lro=8.0, lu=8.0)
+        blocked = {ChainType.LU: 0.5, ChainType.LRO: 0.5}
+        pd = deadlock_victim_probability(ChainType.LRO, pops, held,
+                                         blocked)
+        assert pd > 0.0
+
+    def test_zero_when_holders_never_wait(self):
+        pops = _pops(LU=4)
+        held = _held(lu=10.0)
+        blocked = {ChainType.LU: 0.0}
+        assert deadlock_victim_probability(ChainType.LU, pops, held,
+                                           blocked) == 0.0
+
+    def test_grows_with_holder_wait_fraction(self):
+        pops = _pops(LU=4)
+        held = _held(lu=10.0)
+        low = deadlock_victim_probability(ChainType.LU, pops, held,
+                                          {ChainType.LU: 0.1})
+        high = deadlock_victim_probability(ChainType.LU, pops, held,
+                                           {ChainType.LU: 0.6})
+        assert high > low
+
+    @given(
+        lh=st.floats(0.1, 50.0),
+        wait=st.floats(0.0, 1.0),
+        pop=st.integers(1, 10),
+    )
+    @settings(max_examples=80)
+    def test_always_a_probability(self, lh, wait, pop):
+        pops = _pops(LU=pop, LRO=pop)
+        held = _held(lu=lh, lro=lh)
+        blocked = {chain: wait for chain in ChainType}
+        pd = deadlock_victim_probability(ChainType.LU, pops, held,
+                                         blocked)
+        assert 0.0 <= pd <= 1.0
+
+
+class TestBlockingRatioAndWaitTime:
+    def test_eq19_values(self):
+        assert blocking_ratio(1) == pytest.approx(0.5)
+        assert blocking_ratio(10) == pytest.approx(21 / 60)
+
+    def test_limit_is_one_third(self):
+        """Paper §5.4.4: BR -> 1/3, measured range 0.23-0.41."""
+        assert blocking_ratio(1000) == pytest.approx(1 / 3, rel=1e-2)
+        assert 0.23 < blocking_ratio(4) < 0.41
+
+    def test_lock_wait_time_is_blocker_weighted(self):
+        pops = _pops(LU=2, DUC=2)
+        held = _held(lu=10.0, duc=10.0)
+        locks = {ChainType.LU: 30.0, ChainType.DUC: 30.0}
+        responses = {ChainType.LU: 600.0, ChainType.DUC: 1200.0}
+        wait = lock_wait_time(ChainType.LRO, pops, held, locks,
+                              responses)
+        # Equal blocker mass -> average of the two RLTs.
+        br = blocking_ratio(30.0)
+        assert wait == pytest.approx(br * (600 + 1200) / 2)
+
+    def test_no_blockers_no_wait(self):
+        wait = lock_wait_time(ChainType.LRO, _pops(LRO=3),
+                              _held(lro=5.0), {}, {})
+        assert wait == 0.0
+
+    def test_rejects_zero_locks(self):
+        with pytest.raises(ConfigurationError):
+            blocking_ratio(0)

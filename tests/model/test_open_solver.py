@@ -1,0 +1,110 @@
+"""Tests for the open-arrival model variant."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.open_solver import OpenWorkload, solve_open_model
+from repro.model.solver import solve_model
+from repro.model.types import BaseType, ChainType
+from repro.model.workload import mb8
+
+
+def _open(rate_scale=1.0, n=8):
+    template = mb8(n)
+    per_site = {BaseType.LRO: 0.3 * rate_scale,
+                BaseType.LU: 0.1 * rate_scale,
+                BaseType.DRO: 0.1 * rate_scale,
+                BaseType.DU: 0.05 * rate_scale}
+    return OpenWorkload(template=template,
+                        arrivals_per_s={"A": dict(per_site),
+                                        "B": dict(per_site)})
+
+
+class TestOpenWorkload:
+    def test_chain_rates_include_slaves(self):
+        workload = _open()
+        rates = workload.chain_rates("A")
+        assert rates[ChainType.LRO] == pytest.approx(0.3)
+        assert rates[ChainType.DROS] == pytest.approx(0.1)  # from B
+        assert rates[ChainType.DUS] == pytest.approx(0.05)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OpenWorkload(template=mb8(8),
+                         arrivals_per_s={"A": {BaseType.LRO: -1.0}})
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OpenWorkload(template=mb8(8),
+                         arrivals_per_s={"Z": {BaseType.LRO: 1.0}})
+
+
+class TestOpenSolution:
+    def test_light_load_response_is_near_zero_load(self, sites):
+        solution = solve_open_model(_open(rate_scale=0.1), sites)
+        lro = solution.sites["A"][ChainType.LRO]
+        # 8 requests x ~4 reads x 28ms ~= 0.9s of disk plus CPU.
+        assert 900 < lro.response_ms < 2500
+        assert lro.abort_probability < 0.01
+
+    def test_utilizations_scale_with_rate(self, sites):
+        light = solve_open_model(_open(0.2), sites)
+        heavy = solve_open_model(_open(0.8), sites)
+        assert (heavy.disk_utilization["A"]
+                > light.disk_utilization["A"])
+        assert heavy.disk_utilization["A"] == pytest.approx(
+            4 * light.disk_utilization["A"], rel=0.15)
+
+    def test_response_grows_with_load(self, sites):
+        light = solve_open_model(_open(0.2), sites)
+        heavy = solve_open_model(_open(0.85), sites)
+        assert (heavy.sites["A"][ChainType.LU].response_ms
+                > light.sites["A"][ChainType.LU].response_ms)
+
+    def test_saturation_detected(self, sites):
+        with pytest.raises(ConfigurationError):
+            solve_open_model(_open(3.0), sites)
+
+    def test_littles_law_consistency(self, sites):
+        solution = solve_open_model(_open(0.5), sites)
+        for chains in solution.sites.values():
+            for result in chains.values():
+                assert result.concurrency == pytest.approx(
+                    result.arrival_rate_per_s * result.response_ms
+                    / 1e3, rel=1e-6)
+
+    def test_agrees_with_closed_model_at_matched_throughput(self,
+                                                            sites):
+        """Feed 80% of the closed model's per-type throughputs into
+        the open model (the closed model runs its disk at ~100%, where
+        no open steady state exists).  Utilizations — pure load
+        identities — must then land at 80% of the closed values."""
+        closed = solve_model(mb8(8), sites, max_iterations=1000)
+        scale = 0.8
+        arrivals = {}
+        chain_of = {BaseType.LRO: ChainType.LRO,
+                    BaseType.LU: ChainType.LU,
+                    BaseType.DRO: ChainType.DROC,
+                    BaseType.DU: ChainType.DUC}
+        for site in ("A", "B"):
+            arrivals[site] = {
+                base: scale
+                * closed.site(site).chains[chain].throughput_per_s
+                for base, chain in chain_of.items()}
+        workload = OpenWorkload(template=mb8(8),
+                                arrivals_per_s=arrivals)
+        open_solution = solve_open_model(workload, sites)
+        assert open_solution.cpu_utilization["A"] == pytest.approx(
+            scale * closed.site("A").cpu_utilization, rel=0.15)
+        assert open_solution.disk_utilization["A"] == pytest.approx(
+            scale * closed.site("A").disk_utilization, rel=0.15)
+        # Open responses stay within an order of the closed cycle time.
+        closed_r = closed.site("A").chains[ChainType.LRO] \
+            .cycle_response_ms
+        open_r = open_solution.sites["A"][ChainType.LRO].response_ms
+        assert 0.2 * closed_r < open_r < 5.0 * closed_r
+
+    def test_bottleneck_helper(self, sites):
+        solution = solve_open_model(_open(0.5), sites)
+        assert solution.bottleneck_utilization() == pytest.approx(
+            max(solution.disk_utilization.values()))

@@ -1,0 +1,96 @@
+"""Tests pinning paper Table 2 and the parameter plumbing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.parameters import (BasicPhaseCosts, ProtocolCosts,
+                                    SiteParameters, paper_sites,
+                                    paper_table2)
+from repro.model.types import BaseType, ChainType
+
+
+class TestPaperTable2:
+    """Every number below is transcribed from paper Table 2."""
+
+    def test_node_a_read_row(self):
+        c = paper_table2("A")[BaseType.LRO]
+        assert (c.u_cpu, c.tm_cpu, c.dm_cpu, c.lr_cpu, c.dmio_cpu,
+                c.dmio_disk) == (7.8, 8.0, 5.4, 2.2, 1.5, 28.0)
+
+    def test_node_a_update_row(self):
+        c = paper_table2("A")[BaseType.LU]
+        assert (c.dm_cpu, c.dmio_cpu, c.dmio_disk) == (8.6, 2.5, 84.0)
+
+    def test_node_b_disk_is_slower(self):
+        a, b = paper_table2("A"), paper_table2("B")
+        assert b[BaseType.LRO].dmio_disk == 40.0
+        assert b[BaseType.LU].dmio_disk == 120.0
+        assert a[BaseType.LRO].dmio_disk < b[BaseType.LRO].dmio_disk
+
+    def test_distributed_tm_costs_higher(self):
+        for node in ("A", "B"):
+            t = paper_table2(node)
+            assert t[BaseType.DRO].tm_cpu == 12.0
+            assert t[BaseType.DU].tm_cpu == 12.0
+            assert t[BaseType.LRO].tm_cpu == 8.0
+
+    def test_update_disk_is_three_reads(self):
+        """Paper §6: three I/Os per updated record (db read + journal
+        write + db write)."""
+        for node in ("A", "B"):
+            t = paper_table2(node)
+            assert t[BaseType.LU].dmio_disk == pytest.approx(
+                3 * t[BaseType.LRO].dmio_disk)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_table2("C")
+
+
+class TestSiteParameters:
+    def test_paper_sites_geometry(self):
+        sites = paper_sites()
+        for site in sites.values():
+            assert site.granules == 3000
+            assert site.records_per_granule == 6
+            assert site.records_total == 18_000
+        assert sites["A"].block_io_ms == 28.0
+        assert sites["B"].block_io_ms == 40.0
+
+    def test_costs_for_chain_uses_base_row(self):
+        site = paper_sites()["A"]
+        assert site.costs_for(ChainType.DROS) is site.costs[BaseType.DRO]
+        assert site.costs_for(ChainType.DUC) is site.costs[BaseType.DU]
+
+    def test_buffer_reduces_effective_read(self):
+        site = paper_sites()["A"].with_overrides(
+            buffer_hit_probability=0.5)
+        assert site.effective_read_io_ms() == pytest.approx(14.0)
+
+    def test_missing_cost_row_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SiteParameters(name="X", costs={})
+
+    def test_invalid_buffer_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_sites()["A"].with_overrides(buffer_hit_probability=1.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BasicPhaseCosts(u_cpu=-1, tm_cpu=1, dm_cpu=1, lr_cpu=1,
+                            dmio_cpu=1, dmio_disk=1)
+
+
+class TestProtocolCosts:
+    def test_defaults_are_valid(self):
+        protocol = ProtocolCosts()
+        assert protocol.twopc_rounds == 2
+        assert protocol.slave_commit_ios == 2
+        assert protocol.coordinator_commit_ios == 1
+        assert protocol.readonly_commit_ios == 0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolCosts(commit_cpu=-1.0)
+        with pytest.raises(ConfigurationError):
+            ProtocolCosts(slave_commit_ios=-1)

@@ -1,0 +1,105 @@
+"""Tests for the remote-wait and 2PC sub-models (paper §5.6-5.7)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.remote import (coordinator_commit_wait,
+                                coordinator_remote_wait,
+                                remote_abort_per_request,
+                                remote_abort_per_wait, slave_commit_wait,
+                                slave_remote_wait)
+
+
+class TestCoordinatorRemoteWait:
+    def test_eq21_arithmetic(self):
+        """One slave, active 800 ms/cycle, N_s=1, r=4: 200 ms per wait
+        plus the round trip."""
+        wait = coordinator_remote_wait([800.0], n_submissions=1.0,
+                                       remote_requests=4, alpha_ms=5.0)
+        assert wait == pytest.approx(10.0 + 200.0)
+
+    def test_resubmissions_spread_the_active_time(self):
+        once = coordinator_remote_wait([800.0], 1.0, 4)
+        twice = coordinator_remote_wait([800.0], 2.0, 4)
+        assert twice == pytest.approx(once / 2)
+
+    def test_multiple_slaves_sum(self):
+        wait = coordinator_remote_wait([300.0, 500.0], 1.0, 4)
+        assert wait == pytest.approx(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            coordinator_remote_wait([100.0], 1.0, 0)
+        with pytest.raises(ConfigurationError):
+            coordinator_remote_wait([100.0], 0.5, 2)
+
+
+class TestSlaveRemoteWait:
+    def test_eq23_arithmetic(self):
+        """Coordinator cycle 1000 ms, of which 300 ms RW all to this
+        site and 100 ms think: slave dormant 600 ms spread over 3
+        waits."""
+        wait = slave_remote_wait(
+            coordinator_response_ms=1000.0,
+            coordinator_rw_demand_ms=300.0,
+            coordinator_ut_demand_ms=100.0,
+            remote_fraction_to_site=1.0,
+            n_submissions=1.0,
+            slave_local_requests=3,
+        )
+        assert wait == pytest.approx(200.0)
+
+    def test_clamped_at_zero(self):
+        wait = slave_remote_wait(100.0, 300.0, 0.0, 1.0, 1.0, 2)
+        assert wait == 0.0
+
+    def test_fraction_scales_rw_exclusion(self):
+        full = slave_remote_wait(1000.0, 300.0, 0.0, 1.0, 1.0, 3)
+        half = slave_remote_wait(1000.0, 300.0, 0.0, 0.5, 1.0, 3)
+        assert half > full
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            slave_remote_wait(100.0, 0.0, 0.0, 1.0, 1.0, 0)
+        with pytest.raises(ConfigurationError):
+            slave_remote_wait(100.0, 0.0, 0.0, 1.5, 1.0, 2)
+
+
+class TestCommitWaits:
+    def test_coordinator_waits_for_slowest_slave(self):
+        wait = coordinator_commit_wait(50.0, [30.0, 90.0], alpha_ms=2.0)
+        assert wait == pytest.approx((90 - 50) + 8.0)
+
+    def test_fast_slaves_leave_only_network(self):
+        wait = coordinator_commit_wait(100.0, [30.0], alpha_ms=2.0)
+        assert wait == pytest.approx(8.0)
+
+    def test_slave_waits_out_coordinator(self):
+        assert slave_commit_wait(70.0, alpha_ms=3.0) == pytest.approx(
+            76.0)
+
+    def test_coordinator_needs_slaves(self):
+        with pytest.raises(ConfigurationError):
+            coordinator_commit_wait(10.0, [])
+
+
+class TestRemoteAbortHazards:
+    def test_per_request_hazard(self):
+        pra = remote_abort_per_request(0.1, 0.2, 4.0)
+        assert pra == pytest.approx(1 - (1 - 0.02) ** 4)
+
+    def test_zero_conflict_zero_hazard(self):
+        assert remote_abort_per_request(0.0, 0.5, 4.0) == 0.0
+
+    def test_per_wait_hazard_composes_back(self):
+        """l waits at hazard h reproduce the total probability."""
+        p_else = 0.3
+        waits = 5
+        hazard = remote_abort_per_wait(p_else, waits)
+        assert 1 - (1 - hazard) ** waits == pytest.approx(p_else)
+
+    def test_per_wait_edge_cases(self):
+        assert remote_abort_per_wait(0.0, 3) == 0.0
+        assert remote_abort_per_wait(1.0, 3) == 1.0
+        with pytest.raises(ConfigurationError):
+            remote_abort_per_wait(0.5, 0)

@@ -1,0 +1,73 @@
+"""Tests for result records and the residence breakdown."""
+
+import pytest
+
+from repro.model.parameters import paper_sites
+from repro.model.solver import solve_model
+from repro.model.types import ChainType
+from repro.model.workload import mb8
+
+
+@pytest.fixture(scope="module")
+def solution(sites):
+    return solve_model(mb8(8), sites, max_iterations=1000)
+
+
+class TestResidenceBreakdown:
+    def test_residences_sum_to_cycle_response(self, solution):
+        for site in solution.sites.values():
+            for result in site.chains.values():
+                total = sum(result.residence_ms.values())
+                assert total == pytest.approx(
+                    result.cycle_response_ms, rel=1e-6)
+
+    def test_fractions_sum_to_one(self, solution):
+        result = solution.site("A").chains[ChainType.LU]
+        total = sum(result.residence_fraction(center)
+                    for center in result.residence_ms)
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_disk_dominates_update_chains(self, solution):
+        """LU is disk-bound in the paper's configuration."""
+        result = solution.site("A").chains[ChainType.LU]
+        assert (result.residence_fraction("disk")
+                > result.residence_fraction("cpu"))
+
+    def test_coordinator_spends_time_in_remote_wait(self, solution):
+        result = solution.site("A").chains[ChainType.DUC]
+        assert result.residence_ms["rw"] > 0.0
+        assert result.residence_ms["cw"] > 0.0
+
+    def test_local_chains_never_wait_remotely(self, solution):
+        for chain in (ChainType.LRO, ChainType.LU):
+            result = solution.site("A").chains[chain]
+            assert result.residence_ms["rw"] == 0.0
+            assert result.residence_ms["cw"] == 0.0
+
+    def test_zero_think_time_means_zero_ut_residence(self, solution):
+        for site in solution.sites.values():
+            for result in site.chains.values():
+                assert result.residence_ms["ut"] == 0.0
+
+
+class TestSolutionAccessors:
+    def test_total_throughput(self, solution):
+        total = solution.total_throughput_per_s()
+        per_site = sum(s.transaction_throughput_per_s
+                       for s in solution.sites.values())
+        assert total == pytest.approx(per_site)
+
+    def test_site_lookup_raises_for_unknown(self, solution):
+        with pytest.raises(KeyError):
+            solution.site("Z")
+
+    def test_chain_lookup(self, solution, sites):
+        site = solution.site("B")
+        assert site.chain(ChainType.LRO).chain is ChainType.LRO
+
+    def test_unpopulated_chain_lookup_raises(self, sites):
+        from repro.model.workload import lb8
+        local_only = solve_model(lb8(4), sites, max_iterations=500)
+        site = local_only.site("A")
+        with pytest.raises(KeyError):
+            site.chain(ChainType.DUC)

@@ -1,0 +1,42 @@
+"""Tests for the TM-serialization surrogate-delay option (§5.5)."""
+
+import pytest
+
+from repro.model.solver import solve_model
+from repro.model.types import ChainType
+from repro.model.workload import mb8
+
+
+class TestTmSerializationOption:
+    @pytest.fixture(scope="class")
+    def pair(self, sites):
+        base = solve_model(mb8(4), sites, max_iterations=1000)
+        with_tm = solve_model(mb8(4), sites, max_iterations=1000,
+                              model_tm_serialization=True)
+        return base, with_tm
+
+    def test_serialization_never_helps(self, pair):
+        base, with_tm = pair
+        for node in ("A", "B"):
+            assert (with_tm.site(node).transaction_throughput_per_s
+                    <= base.site(node).transaction_throughput_per_s
+                    + 1e-9)
+
+    def test_tms_residence_present_and_positive(self, pair):
+        _base, with_tm = pair
+        chain = with_tm.site("A").chains[ChainType.LU]
+        assert chain.residence_ms.get("tms", 0.0) > 0.0
+
+    def test_effect_is_small_as_the_paper_argues(self, pair):
+        """§5.5: 'the net impact of ignoring serialization delay
+        should be very small' — the surrogate model quantifies it at
+        under 5% for the paper's workloads."""
+        base, with_tm = pair
+        gap = 1.0 - (with_tm.site("A").transaction_throughput_per_s
+                     / base.site("A").transaction_throughput_per_s)
+        assert 0.0 <= gap < 0.05
+
+    def test_disabled_by_default(self, sites):
+        solution = solve_model(mb8(4), sites, max_iterations=1000)
+        chain = solution.site("A").chains[ChainType.LU]
+        assert "tms" not in chain.residence_ms

@@ -1,0 +1,65 @@
+"""Unit tests for transaction/phase type algebra."""
+
+import pytest
+
+from repro.model.types import (BaseType, ChainType, CPU_PHASES,
+                               DELAY_PHASES, DISK_PHASES, PHASE_ORDER,
+                               Phase, UPDATE_CHAINS)
+
+
+class TestBaseType:
+    def test_update_flags(self):
+        assert BaseType.LU.is_update and BaseType.DU.is_update
+        assert not BaseType.LRO.is_update and not BaseType.DRO.is_update
+
+    def test_distributed_flags(self):
+        assert BaseType.DRO.is_distributed and BaseType.DU.is_distributed
+        assert not BaseType.LRO.is_distributed
+        assert not BaseType.LU.is_distributed
+
+
+class TestChainType:
+    def test_base_mapping(self):
+        assert ChainType.DROC.base is BaseType.DRO
+        assert ChainType.DROS.base is BaseType.DRO
+        assert ChainType.DUC.base is BaseType.DU
+        assert ChainType.DUS.base is BaseType.DU
+        assert ChainType.LRO.base is BaseType.LRO
+        assert ChainType.LU.base is BaseType.LU
+
+    def test_update_chains_constant_matches_paper_eq15(self):
+        assert set(UPDATE_CHAINS) == {ChainType.LU, ChainType.DUC,
+                                      ChainType.DUS}
+
+    def test_coordinator_slave_partition(self):
+        coordinators = {t for t in ChainType if t.is_coordinator}
+        slaves = {t for t in ChainType if t.is_slave}
+        locals_ = {t for t in ChainType if t.is_local}
+        assert coordinators == {ChainType.DROC, ChainType.DUC}
+        assert slaves == {ChainType.DROS, ChainType.DUS}
+        assert locals_ == {ChainType.LRO, ChainType.LU}
+        assert coordinators | slaves | locals_ == set(ChainType)
+
+    def test_counterpart_involution(self):
+        for chain in (ChainType.DROC, ChainType.DUC, ChainType.DROS,
+                      ChainType.DUS):
+            assert chain.counterpart.counterpart is chain
+
+    def test_counterpart_rejects_local(self):
+        with pytest.raises(ValueError):
+            ChainType.LRO.counterpart
+
+
+class TestPhases:
+    def test_phase_order_is_complete_and_unique(self):
+        assert len(PHASE_ORDER) == len(Phase)
+        assert set(PHASE_ORDER) == set(Phase)
+
+    def test_phase_partitions_cover_everything(self):
+        covered = set(CPU_PHASES) | set(DISK_PHASES) | set(DELAY_PHASES)
+        assert covered == set(Phase)
+
+    def test_phase_partitions_disjoint(self):
+        assert not set(CPU_PHASES) & set(DISK_PHASES)
+        assert not set(CPU_PHASES) & set(DELAY_PHASES)
+        assert not set(DISK_PHASES) & set(DELAY_PHASES)

@@ -1,0 +1,136 @@
+"""Unit tests for workload specifications."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.types import BaseType, ChainType
+from repro.model.workload import (STANDARD_WORKLOADS, WorkloadSpec, lb8,
+                                  mb4, mb8, ub6)
+
+
+class TestStandardWorkloads:
+    def test_lb8_populations(self):
+        w = lb8(8)
+        for site in ("A", "B"):
+            pops = w.chain_populations(site)
+            assert pops[ChainType.LRO] == 4
+            assert pops[ChainType.LU] == 4
+            assert pops[ChainType.DROC] == 0
+            assert pops[ChainType.DROS] == 0
+
+    def test_mb4_has_one_of_each(self):
+        w = mb4(8)
+        pops = w.chain_populations("A")
+        assert pops[ChainType.LRO] == 1
+        assert pops[ChainType.LU] == 1
+        assert pops[ChainType.DROC] == 1
+        assert pops[ChainType.DUC] == 1
+        # slaves for B's distributed users
+        assert pops[ChainType.DROS] == 1
+        assert pops[ChainType.DUS] == 1
+
+    def test_mb8_doubles_mb4(self):
+        w4, w8 = mb4(8), mb8(8)
+        for chain in ChainType:
+            assert (w8.chain_populations("A")[chain]
+                    == 2 * w4.chain_populations("A")[chain])
+
+    def test_ub6_mix(self):
+        pops = ub6(8).chain_populations("B")
+        assert pops[ChainType.LRO] == 2
+        assert pops[ChainType.LU] == 2
+        assert pops[ChainType.DROC] == 1
+        assert pops[ChainType.DUC] == 1
+        assert pops[ChainType.DROS] == 1
+        assert pops[ChainType.DUS] == 1
+
+    def test_total_users_match_names(self):
+        assert lb8(4).total_users("A") == 8
+        assert mb4(4).total_users("A") == 4
+        assert mb8(4).total_users("A") == 8
+        assert ub6(4).total_users("A") == 6
+
+    def test_registry_complete(self):
+        assert set(STANDARD_WORKLOADS) == {"LB8", "MB4", "MB8", "UB6"}
+
+
+class TestRequestSplit:
+    def test_local_chain_has_no_remote_requests(self):
+        w = mb8(8)
+        assert w.local_requests(ChainType.LRO) == 8
+        assert w.remote_requests(ChainType.LRO) == 0
+
+    def test_coordinator_split_even(self):
+        w = mb8(8)
+        assert w.remote_requests(ChainType.DROC) == 4
+        assert w.local_requests(ChainType.DROC) == 4
+        assert w.total_requests(ChainType.DROC) == 8
+
+    def test_slave_executes_coordinator_remote_requests(self):
+        w = mb8(8)
+        assert w.local_requests(ChainType.DROS) == 4
+        assert w.remote_requests(ChainType.DROS) == 0
+
+    def test_remote_requests_clamped_to_valid_range(self):
+        w = mb8(2)
+        assert 1 <= w.remote_requests(ChainType.DUC) <= 1
+
+    def test_records_per_txn(self):
+        w = mb8(8)
+        assert w.records_per_txn(ChainType.LRO) == 32
+        assert w.records_per_txn(ChainType.DROC) == 16
+        assert w.records_per_txn(ChainType.DROS) == 16
+
+    def test_remote_fraction_two_nodes(self):
+        w = mb8(8)
+        assert w.remote_request_fraction("A", "B") == 1.0
+        assert w.remote_request_fraction("A", "A") == 0.0
+
+    def test_with_requests_preserves_everything_else(self):
+        w = mb8(8).with_requests(20)
+        assert w.requests_per_txn == 20
+        assert w.name == "MB8"
+        assert w.total_users("A") == 8
+
+
+class TestValidation:
+    def test_rejects_zero_requests(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec("bad", {"A": {BaseType.LRO: 1}},
+                         requests_per_txn=0)
+
+    def test_rejects_negative_population(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec("bad", {"A": {BaseType.LRO: -1}},
+                         requests_per_txn=4)
+
+    def test_rejects_distributed_on_single_site(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec("bad", {"A": {BaseType.DU: 1}},
+                         requests_per_txn=4)
+
+    def test_rejects_bad_remote_fraction(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec("bad", {"A": {BaseType.LRO: 1},
+                                 "B": {BaseType.LRO: 1}},
+                         requests_per_txn=4, remote_fraction=1.5)
+
+    def test_unknown_site_lookup(self):
+        with pytest.raises(ConfigurationError):
+            mb8(4).chain_populations("Z")
+
+    def test_single_site_local_only_allowed(self):
+        w = WorkloadSpec("solo", {"A": {BaseType.LRO: 2}},
+                         requests_per_txn=4)
+        assert w.chain_populations("A")[ChainType.LRO] == 2
+
+    def test_three_site_slave_population_aggregates(self):
+        w = WorkloadSpec(
+            "tri",
+            {"A": {BaseType.DU: 2}, "B": {BaseType.DU: 1},
+             "C": {}},
+            requests_per_txn=6,
+        )
+        pops_c = w.chain_populations("C")
+        assert pops_c[ChainType.DUS] == 3   # slaves for A's 2 + B's 1
+        assert w.remote_request_fraction("A", "B") == pytest.approx(0.5)

@@ -1,0 +1,120 @@
+"""Tests for the closed-form single-station models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.queueing.analytic import MG1, MM1, MM1K, MMm, erlang_c
+
+rates = st.floats(0.1, 5.0, allow_nan=False)
+
+
+class TestMM1:
+    def test_textbook_point(self):
+        q = MM1(lam=1.0, mu=2.0)
+        assert q.utilization == pytest.approx(0.5)
+        assert q.mean_customers == pytest.approx(1.0)
+        assert q.mean_response == pytest.approx(1.0)
+        assert q.mean_wait == pytest.approx(0.5)
+
+    def test_littles_law(self):
+        q = MM1(lam=0.7, mu=1.3)
+        assert q.mean_customers == pytest.approx(
+            q.lam * q.mean_response)
+
+    def test_distribution_sums_to_one(self):
+        q = MM1(lam=1.0, mu=2.0)
+        assert sum(q.p_n(n) for n in range(200)) == pytest.approx(1.0)
+
+    def test_instability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MM1(lam=2.0, mu=2.0)
+
+    @given(lam=rates, mu=rates)
+    @settings(max_examples=60)
+    def test_mean_formulas_consistent(self, lam, mu):
+        if lam >= mu:
+            lam, mu = mu * 0.5, mu
+        q = MM1(lam=lam, mu=mu)
+        assert q.mean_response == pytest.approx(
+            q.mean_wait + 1.0 / mu)
+        assert q.mean_customers == pytest.approx(
+            lam * q.mean_response, rel=1e-9)
+
+
+class TestMMm:
+    def test_single_server_reduces_to_mm1(self):
+        mm1 = MM1(lam=1.0, mu=2.0)
+        mmm = MMm(lam=1.0, mu=2.0, servers=1)
+        assert mmm.mean_response == pytest.approx(mm1.mean_response)
+        assert mmm.wait_probability == pytest.approx(
+            mm1.utilization)
+
+    def test_more_servers_less_waiting(self):
+        one = MMm(lam=1.5, mu=1.0, servers=2)
+        four = MMm(lam=1.5, mu=1.0, servers=4)
+        assert four.mean_wait < one.mean_wait
+
+    def test_erlang_c_known_value(self):
+        """m=2, a=1: C = 1/3 (classic)."""
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_erlang_c_validation(self):
+        with pytest.raises(ConfigurationError):
+            erlang_c(0, 0.5)
+        with pytest.raises(ConfigurationError):
+            erlang_c(2, 2.0)
+
+    @given(lam=rates, mu=rates, m=st.integers(1, 6))
+    @settings(max_examples=60)
+    def test_littles_law(self, lam, mu, m):
+        if lam >= m * mu:
+            lam = 0.5 * m * mu
+        q = MMm(lam=lam, mu=mu, servers=m)
+        assert q.mean_customers == pytest.approx(
+            lam * q.mean_response, rel=1e-9)
+
+
+class TestMG1:
+    def test_exponential_service_matches_mm1(self):
+        mm1 = MM1(lam=1.0, mu=2.0)
+        mg1 = MG1(lam=1.0, service_mean=0.5, service_scv=1.0)
+        assert mg1.mean_wait == pytest.approx(mm1.mean_wait)
+
+    def test_deterministic_service_halves_waiting(self):
+        exp = MG1(lam=1.0, service_mean=0.5, service_scv=1.0)
+        det = MG1(lam=1.0, service_mean=0.5, service_scv=0.0)
+        assert det.mean_wait == pytest.approx(exp.mean_wait / 2.0)
+
+    def test_variance_hurts(self):
+        low = MG1(lam=1.0, service_mean=0.5, service_scv=0.5)
+        high = MG1(lam=1.0, service_mean=0.5, service_scv=4.0)
+        assert high.mean_wait > low.mean_wait
+
+
+class TestMM1K:
+    def test_distribution_sums_to_one(self):
+        q = MM1K(lam=2.0, mu=1.0, capacity=5)
+        assert sum(q.p_n(n) for n in range(6)) == pytest.approx(1.0)
+
+    def test_rho_one_is_uniform(self):
+        q = MM1K(lam=1.0, mu=1.0, capacity=4)
+        for n in range(5):
+            assert q.p_n(n) == pytest.approx(0.2)
+
+    def test_overload_saturates_throughput(self):
+        q = MM1K(lam=100.0, mu=1.0, capacity=3)
+        assert q.throughput == pytest.approx(1.0, rel=0.05)
+        assert q.loss_probability > 0.9
+
+    def test_large_buffer_approaches_mm1(self):
+        q = MM1K(lam=1.0, mu=2.0, capacity=60)
+        mm1 = MM1(lam=1.0, mu=2.0)
+        assert q.mean_customers == pytest.approx(mm1.mean_customers,
+                                                 rel=1e-6)
+        assert q.loss_probability < 1e-15
+
+    def test_bounds_validated(self):
+        q = MM1K(lam=1.0, mu=1.0, capacity=3)
+        with pytest.raises(ConfigurationError):
+            q.p_n(4)

@@ -1,0 +1,119 @@
+"""Tests for the operational bounds module."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.queueing.bounds import (asymptotic_bounds,
+                                   balanced_job_bounds,
+                                   saturation_population)
+from repro.queueing.centers import CenterKind, ServiceCenter
+from repro.queueing.mva_exact import solve_mva_exact
+from repro.queueing.network import ClosedNetwork
+
+demand = st.floats(0.05, 5.0, allow_nan=False)
+
+
+def _net(d1, d2, think, n):
+    return ClosedNetwork(
+        centers=(
+            ServiceCenter("c1", CenterKind.QUEUEING, {"t": d1}),
+            ServiceCenter("c2", CenterKind.QUEUEING, {"t": d2}),
+            ServiceCenter("z", CenterKind.DELAY, {"t": think}),
+        ),
+        populations={"t": n},
+    )
+
+
+class TestAsymptoticBounds:
+    def test_population_one_upper_bound_tight(self):
+        net = _net(1.0, 2.0, 1.0, 1)
+        bounds = asymptotic_bounds(net, "t")
+        sol = solve_mva_exact(net)
+        assert sol.throughput["t"] == pytest.approx(
+            bounds.throughput_upper)
+
+    def test_saturated_upper_bound_tight(self):
+        net = _net(1.0, 2.0, 0.0, 60)
+        bounds = asymptotic_bounds(net, "t")
+        sol = solve_mva_exact(net)
+        assert bounds.throughput_upper == pytest.approx(0.5)
+        assert sol.throughput["t"] == pytest.approx(0.5, rel=1e-2)
+
+    @given(d1=demand, d2=demand, z=st.floats(0.0, 10.0),
+           n=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_mva_within_bounds(self, d1, d2, z, n):
+        net = _net(d1, d2, z, n)
+        bounds = asymptotic_bounds(net, "t")
+        sol = solve_mva_exact(net)
+        assert bounds.contains_throughput(sol.throughput["t"],
+                                          slack=1e-6)
+
+    def test_rejects_empty_chain(self):
+        net = _net(1.0, 2.0, 0.0, 1)
+        with pytest.raises(KeyError):
+            asymptotic_bounds(net, "ghost")
+
+    def test_rejects_zero_population(self):
+        net = ClosedNetwork(
+            centers=(ServiceCenter("c", CenterKind.QUEUEING,
+                                   {"t": 1.0}),),
+            populations={"t": 0},
+        )
+        with pytest.raises(ConfigurationError):
+            asymptotic_bounds(net, "t")
+
+    def test_rejects_delay_only_chain(self):
+        net = ClosedNetwork(
+            centers=(ServiceCenter("z", CenterKind.DELAY, {"t": 1.0}),),
+            populations={"t": 2},
+        )
+        with pytest.raises(ConfigurationError):
+            asymptotic_bounds(net, "t")
+
+
+class TestBalancedJobBounds:
+    @given(d1=demand, d2=demand, z=st.floats(0.0, 10.0),
+           n=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_mva_within_bjb(self, d1, d2, z, n):
+        net = _net(d1, d2, z, n)
+        bounds = balanced_job_bounds(net, "t")
+        sol = solve_mva_exact(net)
+        assert bounds.contains_throughput(sol.throughput["t"],
+                                          slack=1e-6)
+
+    @given(d1=demand, d2=demand, n=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_bjb_tighter_than_asymptotic(self, d1, d2, n):
+        net = _net(d1, d2, 0.0, n)
+        asymptotic = asymptotic_bounds(net, "t")
+        bjb = balanced_job_bounds(net, "t")
+        assert (bjb.throughput_lower
+                >= asymptotic.throughput_lower - 1e-9)
+        assert (bjb.throughput_upper
+                <= asymptotic.throughput_upper + 1e-9)
+
+    def test_balanced_network_bounds_meet_exact(self):
+        """For a perfectly balanced network the BJB upper bound is the
+        exact throughput."""
+        net = _net(1.0, 1.0, 0.0, 4)
+        bjb = balanced_job_bounds(net, "t")
+        sol = solve_mva_exact(net)
+        assert sol.throughput["t"] == pytest.approx(
+            bjb.throughput_upper, rel=1e-9)
+
+
+class TestSaturationPopulation:
+    def test_formula(self):
+        net = _net(1.0, 2.0, 3.0, 1)
+        assert saturation_population(net, "t") == pytest.approx(
+            (3.0 + 3.0) / 2.0)
+
+    def test_site_model_scale(self):
+        """The paper's disk-bound site saturates at a handful of
+        users — consistent with the measured thrashing onset."""
+        net = _net(0.3, 1.4, 0.0, 1)   # CPU ~0.3s, disk ~1.4s demand
+        n_star = saturation_population(net, "t")
+        assert 1.0 < n_star < 3.0

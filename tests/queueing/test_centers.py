@@ -1,0 +1,35 @@
+"""Unit tests for service-center definitions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.queueing.centers import CenterKind, ServiceCenter
+
+
+class TestServiceCenter:
+    def test_demand_lookup(self):
+        center = ServiceCenter("cpu", CenterKind.QUEUEING,
+                               {"a": 1.5, "b": 0.0})
+        assert center.demand("a") == 1.5
+        assert center.demand("b") == 0.0
+
+    def test_missing_chain_defaults_to_zero(self):
+        center = ServiceCenter("cpu", CenterKind.QUEUEING, {"a": 1.5})
+        assert center.demand("zzz") == 0.0
+
+    def test_delay_flag(self):
+        assert ServiceCenter("ut", CenterKind.DELAY).is_delay
+        assert not ServiceCenter("cpu", CenterKind.QUEUEING).is_delay
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            ServiceCenter("", CenterKind.QUEUEING)
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ConfigurationError):
+            ServiceCenter("cpu", CenterKind.QUEUEING, {"a": -0.1})
+
+    def test_frozen(self):
+        center = ServiceCenter("cpu", CenterKind.QUEUEING)
+        with pytest.raises(AttributeError):
+            center.name = "other"

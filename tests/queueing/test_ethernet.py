@@ -1,0 +1,46 @@
+"""Tests for the Ethernet delay model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.queueing.ethernet import EthernetModel
+
+
+class TestEthernetModel:
+    def test_zero_load_is_raw_transmission_time(self):
+        model = EthernetModel(bandwidth_bps=10e6, message_bytes=1000)
+        assert model.mean_delay_s(0.0) == pytest.approx(
+            model.transmission_time_s)
+
+    def test_transmission_time(self):
+        model = EthernetModel(bandwidth_bps=10e6, message_bytes=1250)
+        assert model.transmission_time_s == pytest.approx(1e-3)
+
+    def test_paper_scale_delay_is_negligible(self):
+        """Two-node CARAT sends a few hundred msgs/s at most; the model
+        confirms the paper's 'alpha ~= 0' simplification (sub-ms)."""
+        model = EthernetModel()
+        assert model.mean_delay_ms(200.0) < 1.0
+
+    def test_saturation_rejected(self):
+        model = EthernetModel(bandwidth_bps=10e6, message_bytes=1250)
+        with pytest.raises(ConfigurationError):
+            model.mean_delay_s(1001.0)  # rho > 1
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EthernetModel().utilization(-1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EthernetModel(bandwidth_bps=0)
+        with pytest.raises(ConfigurationError):
+            EthernetModel(message_bytes=0)
+
+    @given(st.floats(0.0, 900.0))
+    def test_delay_monotone_in_load(self, rate):
+        model = EthernetModel(bandwidth_bps=10e6, message_bytes=1250)
+        low = model.mean_delay_s(rate)
+        high = model.mean_delay_s(rate + 50.0)
+        assert high >= low

@@ -1,0 +1,96 @@
+"""Edge-case tests for the MVA solvers."""
+
+import pytest
+
+from repro.queueing.centers import CenterKind, ServiceCenter
+from repro.queueing.mva_approx import solve_mva_approx
+from repro.queueing.mva_exact import solve_mva_exact
+from repro.queueing.network import ClosedNetwork
+
+
+class TestZeroDemandChains:
+    def test_chain_skipping_a_center_has_zero_residence_there(self):
+        net = ClosedNetwork(
+            centers=(
+                ServiceCenter("cpu", CenterKind.QUEUEING,
+                              {"a": 1.0, "b": 1.0}),
+                ServiceCenter("disk", CenterKind.QUEUEING,
+                              {"a": 2.0}),      # b never visits
+            ),
+            populations={"a": 2, "b": 2},
+        )
+        sol = solve_mva_exact(net)
+        assert sol.chain_residence("disk", "b") == 0.0
+        assert sol.queue_length[("disk", "b")] == 0.0
+        assert sol.utilization[("disk", "b")] == 0.0
+
+    def test_noninterfering_chains_solve_independently(self):
+        """Chains on disjoint centers behave like separate networks."""
+        net = ClosedNetwork(
+            centers=(
+                ServiceCenter("c1", CenterKind.QUEUEING, {"a": 1.0}),
+                ServiceCenter("c2", CenterKind.QUEUEING, {"b": 2.0}),
+            ),
+            populations={"a": 3, "b": 3},
+        )
+        sol = solve_mva_exact(net)
+        assert sol.throughput["a"] == pytest.approx(1.0)   # M=1: 1/D
+        assert sol.throughput["b"] == pytest.approx(0.5)
+
+    def test_all_chains_zero_population(self):
+        net = ClosedNetwork(
+            centers=(ServiceCenter("cpu", CenterKind.QUEUEING,
+                                   {"a": 1.0}),),
+            populations={"a": 0},
+        )
+        sol = solve_mva_exact(net)
+        assert sol.throughput["a"] == 0.0
+        assert sol.response_time["a"] == 0.0
+
+
+class TestDelayOnlyChain:
+    def test_exact(self):
+        net = ClosedNetwork(
+            centers=(
+                ServiceCenter("cpu", CenterKind.QUEUEING, {"b": 1.0}),
+                ServiceCenter("z", CenterKind.DELAY,
+                              {"a": 5.0, "b": 1.0}),
+            ),
+            populations={"a": 4, "b": 1},
+        )
+        sol = solve_mva_exact(net)
+        # Chain a never queues: X = N/Z exactly.
+        assert sol.throughput["a"] == pytest.approx(4.0 / 5.0)
+
+    def test_approx_matches(self):
+        net = ClosedNetwork(
+            centers=(
+                ServiceCenter("cpu", CenterKind.QUEUEING, {"b": 1.0}),
+                ServiceCenter("z", CenterKind.DELAY,
+                              {"a": 5.0, "b": 1.0}),
+            ),
+            populations={"a": 4, "b": 1},
+        )
+        sol = solve_mva_approx(net)
+        assert sol.throughput["a"] == pytest.approx(4.0 / 5.0,
+                                                    rel=1e-6)
+
+
+class TestLargeAsymmetricPopulations:
+    def test_exact_and_approx_agree_direction(self):
+        net = ClosedNetwork(
+            centers=(
+                ServiceCenter("cpu", CenterKind.QUEUEING,
+                              {"big": 0.1, "small": 1.0}),
+                ServiceCenter("z", CenterKind.DELAY,
+                              {"big": 1.0, "small": 1.0}),
+            ),
+            populations={"big": 30, "small": 1},
+        )
+        exact = solve_mva_exact(net)
+        approx = solve_mva_approx(net)
+        for chain in ("big", "small"):
+            assert approx.throughput[chain] == pytest.approx(
+                exact.throughput[chain], rel=0.15)
+        # The cpu is nearly saturated by the big chain.
+        assert exact.center_utilization("cpu") > 0.9

@@ -1,0 +1,79 @@
+"""Unit tests for the closed-network specification."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.queueing.centers import CenterKind, ServiceCenter
+from repro.queueing.network import ClosedNetwork, NetworkSolution
+
+
+def _net(populations, centers=None):
+    centers = centers or (
+        ServiceCenter("cpu", CenterKind.QUEUEING,
+                      {k: 1.0 for k in populations}),
+        ServiceCenter("think", CenterKind.DELAY,
+                      {k: 2.0 for k in populations}),
+    )
+    return ClosedNetwork(centers=tuple(centers), populations=populations)
+
+
+class TestClosedNetwork:
+    def test_chain_ordering_is_deterministic(self):
+        net = _net({"z": 1, "a": 2, "m": 0})
+        assert net.chains == ("a", "m", "z")
+
+    def test_active_chains_excludes_zero_population(self):
+        net = _net({"a": 2, "b": 0})
+        assert net.active_chains == ("a",)
+
+    def test_duplicate_center_names_rejected(self):
+        centers = (
+            ServiceCenter("cpu", CenterKind.QUEUEING, {"a": 1.0}),
+            ServiceCenter("cpu", CenterKind.DELAY, {"a": 1.0}),
+        )
+        with pytest.raises(ConfigurationError):
+            ClosedNetwork(centers=centers, populations={"a": 1})
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClosedNetwork(centers=(), populations={"a": 1})
+
+    def test_negative_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _net({"a": -1})
+
+    def test_demand_for_undeclared_chain_rejected(self):
+        centers = (ServiceCenter("cpu", CenterKind.QUEUEING,
+                                 {"ghost": 1.0}),)
+        with pytest.raises(ConfigurationError):
+            ClosedNetwork(centers=centers, populations={"a": 1})
+
+    def test_center_lookup(self):
+        net = _net({"a": 1})
+        assert net.center("cpu").name == "cpu"
+        with pytest.raises(KeyError):
+            net.center("nope")
+
+    def test_queueing_and_delay_partition(self):
+        net = _net({"a": 1})
+        assert [c.name for c in net.queueing_centers()] == ["cpu"]
+        assert [c.name for c in net.delay_centers()] == ["think"]
+
+    def test_total_demand(self):
+        net = _net({"a": 1})
+        assert net.total_demand("a") == pytest.approx(3.0)
+
+
+class TestNetworkSolution:
+    def test_aggregations(self):
+        solution = NetworkSolution(
+            throughput={"a": 2.0},
+            response_time={"a": 0.5},
+            queue_length={("cpu", "a"): 0.6, ("disk", "a"): 0.4},
+            residence_time={("cpu", "a"): 0.3},
+            utilization={("cpu", "a"): 0.5, ("disk", "a"): 0.2},
+        )
+        assert solution.center_utilization("cpu") == pytest.approx(0.5)
+        assert solution.center_queue_length("disk") == pytest.approx(0.4)
+        assert solution.chain_residence("cpu", "a") == pytest.approx(0.3)
+        assert solution.chain_residence("cpu", "missing") == 0.0

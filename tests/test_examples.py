@@ -1,0 +1,32 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+These are the slowest tests in the suite (a couple of minutes of
+simulated workloads); they guarantee the documented entry points never
+rot.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "capacity_planning", "deadlock_study",
+            "crash_recovery", "custom_workload",
+            "sensitivity_analysis", "serializability_audit",
+            "open_model_capacity"} <= names

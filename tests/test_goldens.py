@@ -1,0 +1,61 @@
+"""Golden-value regression tests.
+
+These pin the analytical model's current outputs at a few operating
+points.  Unlike the paper-agreement tests (which use wide bands), the
+tolerances here are tight (0.5%): any code change that moves these
+numbers is either a bug or a deliberate model change — in the latter
+case update the goldens *and* re-run `python -m repro report` so
+EXPERIMENTS.md stays truthful.
+"""
+
+import pytest
+
+from repro.model.parameters import paper_sites
+from repro.model.solver import solve_model
+from repro.model.types import ChainType
+from repro.model.workload import lb8, mb4, mb8, ub6
+
+# {(workload, n): {site: (xput, cpu, dio)}} — regenerate with
+# scripts in this file's docstring if the model changes deliberately.
+GOLDEN = {
+    ("MB8", 4): {"A": (1.3513, 0.5547, 35.084),
+                 "B": (0.9826, 0.4247, 24.974)},
+    ("MB8", 12): {"A": (0.3623, 0.3975, 30.398),
+                  "B": (0.2899, 0.3266, 24.017)},
+    ("MB4", 8): {"A": (0.5937, 0.4396, 31.671),
+                 "B": (0.4608, 0.3526, 24.159)},
+    ("LB8", 8): {"A": (0.6677, 0.4296, 35.376),
+                 "B": (0.4729, 0.3039, 24.889)},
+    ("UB6", 16): {"A": (0.2540, 0.3575, 29.427),
+                  "B": (0.1990, 0.2849, 22.839)},
+}
+
+_FACTORY = {"MB8": mb8, "MB4": mb4, "LB8": lb8, "UB6": ub6}
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_model_golden_values(key, sites):
+    name, n = key
+    solution = solve_model(_FACTORY[name](n), sites,
+                           max_iterations=1000)
+    for site_name, (xput, cpu, dio) in GOLDEN[key].items():
+        site = solution.site(site_name)
+        assert site.transaction_throughput_per_s == pytest.approx(
+            xput, rel=5e-3), (key, site_name, "xput")
+        assert site.cpu_utilization == pytest.approx(
+            cpu, rel=5e-3), (key, site_name, "cpu")
+        assert site.dio_rate_per_s == pytest.approx(
+            dio, rel=5e-3), (key, site_name, "dio")
+
+
+def test_goldens_match_paper_bands():
+    """Sanity: the pinned values themselves satisfy the looser
+    paper-agreement bands used elsewhere."""
+    from repro.experiments.catalog import PAPER_TABLE3
+    for (name, n), per_site in GOLDEN.items():
+        if name != "MB8":
+            continue
+        for site_name, (xput, cpu, dio) in per_site.items():
+            paper = PAPER_TABLE3["model"][(n, site_name)]
+            assert paper[0] / 2 <= xput <= paper[0] * 2
+            assert abs(cpu - paper[1]) < 0.12

@@ -1,0 +1,81 @@
+"""Tests for batch-means analysis."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.testbed.batchmeans import (batch_means, lag1_autocorrelation)
+
+
+class TestLag1Autocorrelation:
+    def test_iid_series_near_zero(self):
+        rng = random.Random(1)
+        values = [rng.random() for _ in range(2000)]
+        assert abs(lag1_autocorrelation(values)) < 0.1
+
+    def test_trending_series_positive(self):
+        values = [float(i) for i in range(100)]
+        assert lag1_autocorrelation(values) > 0.9
+
+    def test_alternating_series_negative(self):
+        values = [1.0, -1.0] * 50
+        assert lag1_autocorrelation(values) < -0.9
+
+    def test_degenerate_inputs(self):
+        assert lag1_autocorrelation([]) == 0.0
+        assert lag1_autocorrelation([1.0, 2.0]) == 0.0
+        assert lag1_autocorrelation([5.0] * 10) == 0.0
+
+
+class TestBatchMeans:
+    def test_iid_interval_covers_true_mean(self):
+        rng = random.Random(7)
+        true_mean = 10.0
+        observations = [rng.expovariate(1.0 / true_mean)
+                        for _ in range(5000)]
+        result = batch_means(observations, batches=10)
+        assert result.low < true_mean < result.high
+        assert result.reliable
+        assert result.batch_size == 500
+
+    def test_more_data_tighter_interval(self):
+        rng = random.Random(11)
+        small = batch_means([rng.gauss(5, 1) for _ in range(200)],
+                            batches=10)
+        rng = random.Random(11)
+        large = batch_means([rng.gauss(5, 1) for _ in range(20_000)],
+                            batches=10)
+        assert large.half_width < small.half_width
+
+    def test_correlated_batches_flagged(self):
+        """A strongly trending stream yields correlated batch means;
+        the reliability diagnostic must flag it."""
+        observations = [float(i) for i in range(1000)]
+        result = batch_means(observations, batches=10)
+        assert not result.reliable
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            batch_means([1.0, 2.0], batches=1)
+        with pytest.raises(ConfigurationError):
+            batch_means([1.0], batches=5)
+        with pytest.raises(ConfigurationError):
+            batch_means([1.0] * 10, batches=2, confidence=0.0)
+
+    def test_on_simulated_response_stream(self, sites,
+                                          quick_sim_kwargs):
+        """End to end: batch-means CI on the simulator's LRO response
+        stream brackets the reported mean."""
+        from repro.model.types import BaseType
+        from repro.model.workload import mb4
+        from repro.testbed.system import simulate
+        measurement = simulate(mb4(8), sites, seed=19,
+                               warmup_ms=10_000.0,
+                               duration_ms=300_000.0)
+        site = measurement.site("A")
+        samples = site.response_samples_by_type[BaseType.LRO]
+        assert len(samples) >= 40
+        result = batch_means(samples, batches=8)
+        reported = site.mean_response_ms_by_type[BaseType.LRO]
+        assert result.low <= reported <= result.high

@@ -1,0 +1,184 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.testbed.des import Fork, Simulator, Timeout, Wait
+
+
+class TestTimeouts:
+    def test_time_advances(self):
+        sim = Simulator()
+        log = []
+
+        def process():
+            yield Timeout(5.0)
+            log.append(sim.now)
+            yield Timeout(2.5)
+            log.append(sim.now)
+
+        sim.spawn(process())
+        sim.run()
+        assert log == [5.0, 7.5]
+
+    def test_simultaneous_events_fire_in_spawn_order(self):
+        sim = Simulator()
+        log = []
+
+        def proc(name):
+            yield Timeout(1.0)
+            log.append(name)
+
+        for name in ("a", "b", "c"):
+            sim.spawn(proc(name))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            for _ in range(10):
+                yield Timeout(1.0)
+                log.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run(until=4.5)
+        assert log == [1.0, 2.0, 3.0, 4.0]
+        assert sim.now == 4.5
+        # Can continue afterwards.
+        sim.run(until=6.0)
+        assert log[-1] == 6.0
+
+    def test_max_steps_budget(self):
+        sim = Simulator()
+
+        def forever():
+            while True:
+                yield Timeout(1.0)
+
+        sim.spawn(forever())
+        with pytest.raises(SimulationError):
+            sim.run(max_steps=100)
+
+
+class TestEvents:
+    def test_event_wakes_waiter_with_payload(self):
+        sim = Simulator()
+        event = sim.event()
+        got = []
+
+        def waiter():
+            payload = yield Wait(event)
+            got.append((sim.now, payload))
+
+        def firer():
+            yield Timeout(3.0)
+            event.fire("hello")
+
+        sim.spawn(waiter())
+        sim.spawn(firer())
+        sim.run()
+        assert got == [(3.0, "hello")]
+
+    def test_wait_on_fired_event_resumes_immediately(self):
+        sim = Simulator()
+        event = sim.event()
+        event.fire(42)
+        got = []
+
+        def waiter():
+            payload = yield Wait(event)
+            got.append(payload)
+
+        sim.spawn(waiter())
+        sim.run()
+        assert got == [42]
+
+    def test_multiple_waiters_all_wake(self):
+        sim = Simulator()
+        event = sim.event()
+        got = []
+
+        def waiter(i):
+            yield Wait(event)
+            got.append(i)
+
+        for i in range(3):
+            sim.spawn(waiter(i))
+        event.fire()
+        sim.run()
+        assert sorted(got) == [0, 1, 2]
+
+    def test_double_fire_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        event.fire()
+        with pytest.raises(SimulationError):
+            event.fire()
+
+
+class TestForkAndCompletion:
+    def test_fork_returns_handle_and_runs_child(self):
+        sim = Simulator()
+        log = []
+
+        def child():
+            yield Timeout(2.0)
+            log.append("child")
+            return "result"
+
+        def parent():
+            handle = yield Fork(child())
+            log.append("parent-continues")
+            value = yield Wait(handle.completion)
+            log.append(value)
+
+        sim.spawn(parent())
+        sim.run()
+        assert log == ["parent-continues", "child", "result"]
+
+    def test_process_result_recorded(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            return 99
+
+        handle = sim.spawn(proc())
+        sim.run()
+        assert handle.done
+        assert handle.result == 99
+
+    def test_invalid_yield_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "garbage"
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_determinism_under_replay(self):
+        """Two identical simulations produce identical traces."""
+        def build():
+            sim = Simulator()
+            log = []
+
+            def proc(name, delay):
+                for i in range(5):
+                    yield Timeout(delay)
+                    log.append((sim.now, name, i))
+
+            sim.spawn(proc("x", 1.0))
+            sim.spawn(proc("y", 1.5))
+            sim.run()
+            return log
+
+        assert build() == build()

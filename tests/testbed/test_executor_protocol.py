@@ -1,0 +1,132 @@
+"""Protocol-level assertions on the executor via journal inspection.
+
+The journal is the durable record of what the protocol actually did;
+these tests read it back to verify the WAL and 2PC obligations of
+paper §2 held during real multi-transaction runs.
+"""
+
+import pytest
+
+from repro.model.types import BaseType
+from repro.model.workload import WorkloadSpec, mb4
+from repro.testbed.system import CaratSimulation, SimulationConfig
+from repro.testbed.wal import RecordType
+
+
+@pytest.fixture(scope="module")
+def run(sites):
+    config = SimulationConfig(
+        workload=mb4(8), sites=sites, seed=101,
+        warmup_ms=0.0, duration_ms=180_000.0)
+    simulation = CaratSimulation(config)
+    measurement = simulation.run()
+    return simulation, measurement
+
+
+def _records_by_txn(node, kind):
+    out = {}
+    for record in node.journal.durable_records:
+        if record.kind is kind:
+            out.setdefault(record.txn, []).append(record)
+    return out
+
+
+class TestJournalProtocol:
+    def test_read_only_transactions_cost_no_log_io(self, run):
+        """The read-only optimization: LRO/DRO write no before images
+        and no PREPARE records.  (Their unforced COMMIT records may
+        piggyback on later update forces — that costs no I/O.)"""
+        simulation, _ = run
+        for node in simulation.nodes.values():
+            for record in node.journal.durable_records:
+                if "/LRO" in record.txn or "/DRO" in record.txn:
+                    assert record.kind is RecordType.COMMIT, record
+
+    def test_local_updates_commit_without_prepare(self, run):
+        """LU uses the one-phase local commit: COMMIT record, no
+        PREPARE."""
+        simulation, _ = run
+        for node in simulation.nodes.values():
+            prepares = _records_by_txn(node, RecordType.PREPARE)
+            for txn in prepares:
+                assert "/LU" not in txn
+
+    def test_distributed_updates_prepare_at_slave_only(self, run):
+        """DU transactions force a PREPARE at the slave site, never at
+        the coordinator (centralized 2PC: the coordinator's vote is
+        its commit record)."""
+        simulation, _ = run
+        for name, node in simulation.nodes.items():
+            prepares = _records_by_txn(node, RecordType.PREPARE)
+            for txn in prepares:
+                assert "/DU" in txn
+                home = txn.split("/")[0]
+                assert home != name, (txn, name)
+
+    def test_slave_prepare_precedes_slave_commit(self, run):
+        simulation, _ = run
+        for node in simulation.nodes.values():
+            prepare_lsn = {r.txn: r.lsn for r in
+                           node.journal.durable_records
+                           if r.kind is RecordType.PREPARE}
+            for record in node.journal.durable_records:
+                if (record.kind is RecordType.COMMIT
+                        and record.txn in prepare_lsn):
+                    assert record.lsn > prepare_lsn[record.txn]
+
+    def test_every_durable_commit_of_updates_has_images(self, run):
+        """WAL: an update transaction's COMMIT record is preceded by
+        its before images at that site (when it updated there)."""
+        simulation, _ = run
+        for node in simulation.nodes.values():
+            commits = _records_by_txn(node, RecordType.COMMIT)
+            images = _records_by_txn(node, RecordType.BEFORE_IMAGE)
+            for txn, commit_records in commits.items():
+                if txn not in images:
+                    continue   # committed here without local updates
+                first_commit = min(r.lsn for r in commit_records)
+                assert all(r.lsn < first_commit
+                           for r in images[txn]), txn
+
+    def test_journal_force_counts_match_commit_activity(self, run):
+        """Forces happened (updates + 2PC); sanity lower bound: at
+        least one force per committed update transaction."""
+        simulation, measurement = run
+        for name, node in simulation.nodes.items():
+            site = measurement.site(name)
+            update_commits = (site.commits_by_type[BaseType.LU]
+                              + site.commits_by_type[BaseType.DU])
+            assert node.journal.forces >= update_commits
+
+
+class TestSimulationEdgeCases:
+    def test_single_site_workload(self, sites):
+        workload = WorkloadSpec(
+            "solo", {"A": {BaseType.LRO: 2, BaseType.LU: 2}},
+            requests_per_txn=6)
+        config = SimulationConfig(
+            workload=workload, sites={"A": sites["A"]}, seed=7,
+            warmup_ms=5_000.0, duration_ms=60_000.0)
+        measurement = CaratSimulation(config).run()
+        site = measurement.site("A")
+        assert site.commits_by_type[BaseType.LRO] > 0
+        assert site.global_deadlocks == 0
+
+    def test_remote_heavy_distribution(self, sites):
+        from dataclasses import replace
+        workload = replace(mb4(8), remote_fraction=0.875)
+        config = SimulationConfig(
+            workload=workload, sites=sites, seed=7,
+            warmup_ms=5_000.0, duration_ms=90_000.0)
+        measurement = CaratSimulation(config).run()
+        for site in measurement.sites.values():
+            assert site.commits_by_type[BaseType.DU] > 0
+
+    def test_one_record_per_request(self, sites):
+        from dataclasses import replace
+        workload = replace(mb4(4), records_per_request=1)
+        config = SimulationConfig(
+            workload=workload, sites=sites, seed=7,
+            warmup_ms=5_000.0, duration_ms=60_000.0)
+        measurement = CaratSimulation(config).run()
+        assert measurement.total_commits() > 0

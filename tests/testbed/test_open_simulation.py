@@ -1,0 +1,66 @@
+"""Validation of the open model against an open-arrival simulation."""
+
+import pytest
+
+from repro.model.open_solver import OpenWorkload, solve_open_model
+from repro.model.types import BaseType, ChainType
+from repro.model.workload import mb8
+from repro.testbed.system import OpenCaratSimulation, SimulationConfig
+
+
+RATES = {BaseType.LRO: 0.15, BaseType.LU: 0.05,
+         BaseType.DRO: 0.05, BaseType.DU: 0.025}
+
+
+@pytest.fixture(scope="module")
+def pair(sites):
+    arrivals = {"A": dict(RATES), "B": dict(RATES)}
+    workload = OpenWorkload(template=mb8(8), arrivals_per_s=arrivals)
+    model = solve_open_model(workload, sites)
+    config = SimulationConfig(workload=mb8(8), sites=sites, seed=131,
+                              warmup_ms=60_000.0,
+                              duration_ms=900_000.0)
+    sim = OpenCaratSimulation(config, arrivals).run()
+    return model, sim
+
+
+class TestOpenSimulation:
+    def test_throughput_equals_offered_load(self, pair):
+        """In a stable open system, commit rate = arrival rate."""
+        _model, sim = pair
+        offered = sum(RATES.values())
+        for site in ("A", "B"):
+            measured = sim.site(site).transaction_throughput_per_s
+            assert measured == pytest.approx(offered, rel=0.15)
+
+    def test_utilizations_match_model(self, pair):
+        model, sim = pair
+        for site in ("A", "B"):
+            assert sim.site(site).disk_utilization == pytest.approx(
+                model.disk_utilization[site], abs=0.07)
+            assert sim.site(site).cpu_utilization == pytest.approx(
+                model.cpu_utilization[site], abs=0.07)
+
+    def test_response_times_match_model(self, pair):
+        model, sim = pair
+        predicted = model.sites["A"][ChainType.LRO].response_ms
+        measured = sim.site("A").mean_response_ms_by_type[BaseType.LRO]
+        assert measured == pytest.approx(predicted, rel=0.35)
+
+    def test_all_types_served(self, pair):
+        _model, sim = pair
+        for site in ("A", "B"):
+            for base in BaseType:
+                assert sim.site(site).commits_by_type[base] > 0
+
+    def test_deterministic(self, sites):
+        arrivals = {"A": {BaseType.LRO: 0.2}, "B": {}}
+        kwargs = dict(seed=9, warmup_ms=2_000.0, duration_ms=60_000.0)
+
+        def run():
+            config = SimulationConfig(workload=mb8(8), sites=sites,
+                                      **kwargs)
+            return OpenCaratSimulation(config, arrivals).run()
+
+        a, b = run(), run()
+        assert a.site("A").disk_ios == b.site("A").disk_ios

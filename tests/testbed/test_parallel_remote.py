@@ -1,0 +1,61 @@
+"""Tests for the parallel-remote-requests extension (paper §7)."""
+
+from repro.model.types import BaseType
+from repro.model.workload import mb4, mb8
+from repro.testbed.serializability import check_serializable
+from repro.testbed.system import CaratSimulation, SimulationConfig, \
+    simulate
+
+
+class TestParallelRemote:
+    def test_all_types_still_commit(self, sites):
+        measurement = simulate(mb4(8), sites, seed=61,
+                               warmup_ms=10_000.0,
+                               duration_ms=120_000.0,
+                               parallel_remote=True)
+        for site in measurement.sites.values():
+            for base in BaseType:
+                assert site.commits_by_type[base] > 0
+
+    def test_distributed_response_not_worse(self, sites):
+        kwargs = dict(seed=61, warmup_ms=10_000.0,
+                      duration_ms=240_000.0)
+        serial = simulate(mb4(8), sites, parallel_remote=False,
+                          **kwargs)
+        parallel = simulate(mb4(8), sites, parallel_remote=True,
+                            **kwargs)
+        assert (parallel.site("A").mean_response_ms_by_type[BaseType.DRO]
+                <= 1.1 * serial.site("A")
+                .mean_response_ms_by_type[BaseType.DRO])
+
+    def test_serializability_survives_overlap(self, sites):
+        """The extension must not break the 2PL guarantee, even at
+        high contention with aborts."""
+        config = SimulationConfig(
+            workload=mb8(12), sites=sites, seed=67,
+            warmup_ms=5_000.0, duration_ms=120_000.0,
+            parallel_remote=True, record_history=True)
+        simulation = CaratSimulation(config)
+        simulation.run()
+        assert len(simulation.history) > 5
+        report = check_serializable(simulation.history)
+        assert report.serializable, report.cycle
+
+    def test_no_locks_leaked_under_overlap(self, sites):
+        config = SimulationConfig(
+            workload=mb8(12), sites=sites, seed=71,
+            warmup_ms=5_000.0, duration_ms=120_000.0,
+            parallel_remote=True)
+        simulation = CaratSimulation(config)
+        simulation.run()
+        live = set(simulation.registry)
+        for node in simulation.nodes.values():
+            for txn in node.locks.waiting_transactions():
+                assert txn in live
+
+    def test_deterministic(self, sites):
+        kwargs = dict(seed=5, warmup_ms=5_000.0, duration_ms=60_000.0,
+                      parallel_remote=True)
+        a = simulate(mb4(8), sites, **kwargs)
+        b = simulate(mb4(8), sites, **kwargs)
+        assert a.site("A").disk_ios == b.site("A").disk_ios

@@ -1,0 +1,69 @@
+"""Tests for replicated runs and interval estimates."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.workload import mb4
+from repro.testbed.replication import (Estimate, ReplicatedMeasurement,
+                                       run_replications)
+from repro.testbed.system import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def replicated(sites):
+    config = SimulationConfig(workload=mb4(8), sites=sites, seed=100,
+                              warmup_ms=5_000.0, duration_ms=90_000.0)
+    return run_replications(config, replications=4)
+
+
+class TestEstimate:
+    def test_interval_arithmetic(self):
+        e = Estimate(mean=10.0, half_width=2.0, replications=5,
+                     confidence=0.95)
+        assert e.low == 8.0 and e.high == 12.0
+        assert e.contains(9.0)
+        assert not e.contains(13.0)
+        assert e.relative_half_width == pytest.approx(0.2)
+
+    def test_single_replication_has_infinite_interval(self, sites):
+        config = SimulationConfig(workload=mb4(4), sites=sites,
+                                  seed=1, warmup_ms=2_000.0,
+                                  duration_ms=20_000.0)
+        result = run_replications(config, replications=1)
+        assert result.site_throughput("A").half_width == float("inf")
+
+
+class TestRunReplications:
+    def test_shape(self, replicated):
+        assert isinstance(replicated, ReplicatedMeasurement)
+        assert replicated.replications == 4
+        assert set(replicated.throughput) == {"A", "B"}
+
+    def test_estimates_positive_and_finite(self, replicated):
+        for site in ("A", "B"):
+            e = replicated.site_throughput(site)
+            assert e.mean > 0.0
+            assert 0.0 < e.half_width < e.mean   # reasonably tight
+
+    def test_seeds_vary_across_replications(self, replicated):
+        """If every replication were identical the half-width would be
+        exactly zero; it must not be."""
+        assert replicated.site_throughput("A").half_width > 0.0
+
+    def test_model_within_simulation_interval_scale(self, replicated,
+                                                    sites):
+        """The analytical model's prediction lands within a few
+        half-widths of the replicated simulator mean."""
+        from repro.model.solver import solve_model
+        model = solve_model(mb4(8), sites, max_iterations=1000)
+        e = replicated.site_throughput("A")
+        predicted = model.site("A").transaction_throughput_per_s
+        assert abs(predicted - e.mean) < max(5 * e.half_width,
+                                             0.3 * e.mean)
+
+    def test_validation(self, sites):
+        config = SimulationConfig(workload=mb4(4), sites=sites, seed=1)
+        with pytest.raises(ConfigurationError):
+            run_replications(config, replications=0)
+        with pytest.raises(ConfigurationError):
+            run_replications(config, confidence=1.5)

