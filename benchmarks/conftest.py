@@ -3,6 +3,13 @@
 Run with ``pytest benchmarks/ --benchmark-only``.  Set
 ``CARAT_BENCH_FULL=1`` for paper-length simulation windows (20 minutes
 of simulated time per operating point instead of 4).
+
+Sweep results are served from the content-addressed on-disk cache
+(:mod:`repro.experiments.cache`; location ``$CARAT_CACHE_DIR``, else
+``~/.cache/carat-qnm``), so re-running a benchmark session with
+unchanged inputs skips the simulations entirely.  Set
+``CARAT_BENCH_JOBS=N`` to fan the sweep points of cache misses out
+across N worker processes (see docs/parallel.md).
 """
 
 from __future__ import annotations

@@ -21,7 +21,7 @@ import sys
 
 from repro.experiments import (EXPERIMENTS, experiment,
                                render_figure_series, render_per_type_table,
-                               render_summary_table, run_experiment)
+                               render_summary_table)
 from repro.model.parameters import paper_sites
 from repro.model.solver import solve_model
 from repro.model.workload import STANDARD_WORKLOADS
@@ -51,17 +51,23 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--warmup-s", type=float, default=60.0)
 
     exp = sub.add_parser("experiment",
-                         help="reproduce one table/figure of the paper")
-    exp.add_argument("exp_id", choices=sorted(EXPERIMENTS))
+                         help="reproduce tables/figures of the paper")
+    exp.add_argument("exp_id", nargs="+", choices=sorted(EXPERIMENTS),
+                     help="one or more experiment ids; their sweep "
+                          "points share one --jobs fan-out batch")
     exp.add_argument("--quick", action="store_true",
                      help="short simulation window (smoke test)")
     exp.add_argument("--model-only", action="store_true",
                      help="skip the simulator")
+    _sweep_args(exp)
 
     report = sub.add_parser(
         "report", help="regenerate EXPERIMENTS.md (all artifacts)")
     report.add_argument("--quick", action="store_true")
     report.add_argument("--output", default="EXPERIMENTS.md")
+    report.add_argument("--jobs", type=int, default=1,
+                        help="worker processes per sweep "
+                             "(docs/parallel.md)")
 
     calibrate = sub.add_parser(
         "calibrate",
@@ -87,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="file path or '-' for stdout")
     export.add_argument("--model-only", action="store_true")
     export.add_argument("--quick", action="store_true")
+    _sweep_args(export)
 
     sub.add_parser("list", help="list experiments and workloads")
     return parser
@@ -97,6 +104,30 @@ def _workload_args(parser: argparse.ArgumentParser) -> None:
                         default="MB8")
     parser.add_argument("-n", "--requests", type=int, default=8,
                         help="requests per transaction (paper: 4..20)")
+
+
+def _sweep_args(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the sweep-running subcommands."""
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep points "
+                             "(docs/parallel.md); 0 means one per CPU")
+    parser.add_argument("--cached", action="store_true",
+                        help="serve/store results via the on-disk "
+                             "content-addressed cache "
+                             "($CARAT_CACHE_DIR, docs/parallel.md)")
+    parser.add_argument("--warm-start", action="store_true",
+                        help="seed each model solve from the previous "
+                             "sweep point's converged state")
+
+
+def _run_specs(specs, args, duration: float):
+    """Run experiment specs honoring --jobs/--cached/--warm-start."""
+    from repro.experiments.cache import fetch_or_run_many
+    jobs = args.jobs if args.jobs > 0 else None
+    return fetch_or_run_many(
+        specs, sim_duration_ms=duration, sim_warmup_ms=duration / 10,
+        run_simulation=not args.model_only, jobs=jobs,
+        warm_start=args.warm_start, use_cache=args.cached)
 
 
 def _cmd_model(args) -> int:
@@ -131,32 +162,34 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    spec = experiment(args.exp_id)
+    from repro.experiments.catalog import experiment_specs
+    specs = experiment_specs(args.exp_id)
     duration = 120_000.0 if args.quick else 600_000.0
-    result = run_experiment(
-        spec, sim_duration_ms=duration,
-        sim_warmup_ms=duration / 10,
-        run_simulation=not args.model_only)
-    if args.exp_id == "tab5":
-        print(render_per_type_table(result))
-    elif args.exp_id.startswith("fig"):
-        from repro.experiments.plots import figure_chart
-        metric = {"fig5": "record_xput", "fig6": "cpu", "fig7": "dio",
-                  "fig8": "record_xput", "fig9": "cpu",
-                  "fig10": "dio"}[args.exp_id]
-        for site in spec.sites_of_interest:
-            print(render_figure_series(result, site, metric, metric))
-            print()
-            print(figure_chart(result, site, metric, spec.title).text)
-            print()
-    else:
-        print(render_summary_table(result))
+    results = _run_specs(specs, args, duration)
+    for spec, result in zip(specs, results):
+        if len(specs) > 1:
+            print(f"== {spec.title} ({spec.exp_id}) ==")
+        if spec.exp_id == "tab5":
+            print(render_per_type_table(result))
+        elif spec.exp_id.startswith("fig"):
+            from repro.experiments.plots import figure_chart
+            metric = {"fig5": "record_xput", "fig6": "cpu",
+                      "fig7": "dio", "fig8": "record_xput",
+                      "fig9": "cpu", "fig10": "dio"}[spec.exp_id]
+            for site in spec.sites_of_interest:
+                print(render_figure_series(result, site, metric, metric))
+                print()
+                print(figure_chart(result, site, metric,
+                                   spec.title).text)
+                print()
+        else:
+            print(render_summary_table(result))
     return 0
 
 
 def _cmd_report(args) -> int:
     from repro.experiments.emit import main as emit_main
-    argv = ["--output", args.output]
+    argv = ["--output", args.output, "--jobs", str(args.jobs)]
     if args.quick:
         argv.append("--quick")
     return emit_main(argv)
@@ -181,9 +214,7 @@ def _cmd_export(args) -> int:
     from repro.experiments.export import experiment_to_csv
     spec = experiment(args.exp_id)
     duration = 120_000.0 if args.quick else 600_000.0
-    result = run_experiment(
-        spec, sim_duration_ms=duration, sim_warmup_ms=duration / 10,
-        run_simulation=not args.model_only)
+    result = _run_specs([spec], args, duration)[0]
     text = experiment_to_csv(result, per_type=args.exp_id == "tab5")
     if args.output == "-":
         print(text, end="")

@@ -1,11 +1,15 @@
 """Reproduction harness for every table and figure of the paper."""
 
+from repro.experiments.cache import (ResultCache, fetch_or_run,
+                                     fetch_or_run_many)
 from repro.experiments.catalog import (EXPERIMENTS, PAPER_TABLE3,
                                        PAPER_TABLE4, PAPER_TABLE5,
-                                       experiment)
+                                       experiment, experiment_specs)
+from repro.experiments.parallel import (run_experiment_parallel,
+                                        run_experiments)
 from repro.experiments.runner import (PAPER_SWEEP, ExperimentResult,
                                       ExperimentSpec, SweepPoint,
-                                      run_experiment)
+                                      run_experiment, solve_sweep_models)
 from repro.experiments.export import (experiment_to_csv,
                                       paper_reference_to_csv)
 from repro.experiments.report import (render_figure_series,
@@ -19,9 +23,11 @@ from repro.experiments.validate import (AgreementStats, compare_series,
                                         model_vs_paper, model_vs_sim)
 
 __all__ = [
-    "EXPERIMENTS", "experiment",
+    "EXPERIMENTS", "experiment", "experiment_specs",
     "PAPER_TABLE3", "PAPER_TABLE4", "PAPER_TABLE5", "PAPER_SWEEP",
     "ExperimentSpec", "ExperimentResult", "SweepPoint", "run_experiment",
+    "run_experiments", "run_experiment_parallel", "solve_sweep_models",
+    "ResultCache", "fetch_or_run", "fetch_or_run_many",
     "render_summary_table", "render_per_type_table",
     "render_figure_series",
     "SensitivityResult", "sweep_site_field", "sweep_protocol_field",

@@ -6,24 +6,37 @@ modules can import them regardless of how pytest sets up ``sys.path``.
 
 from __future__ import annotations
 
+import os
+
+from repro.experiments.cache import fetch_or_run
 from repro.experiments.runner import ExperimentResult, ExperimentSpec, \
     run_experiment
 
 __all__ = ["run_repro", "cached_run", "attach_series", "shape_checks"]
 
-#: Cache of full sweep results shared by benchmarks that render
-#: different metrics of the same workload sweep (e.g. Figures 5-7 all
-#: come from one LB8 sweep; re-simulating per figure would triple the
-#: cost without adding information).
-_CACHE: dict = {}
 
+def cached_run(spec: ExperimentSpec, sites, window,
+               jobs: int | None = None,
+               **model_kwargs) -> ExperimentResult:
+    """Like :func:`run_repro` but served from the content-addressed
+    result cache (:mod:`repro.experiments.cache`).
 
-def cached_run(spec: ExperimentSpec, sites, window) -> ExperimentResult:
-    """Like :func:`run_repro` but cached per (workload, sweep, window)."""
-    key = (spec.workload_factory(spec.sweep[0]).name, spec.sweep, window)
-    if key not in _CACHE:
-        _CACHE[key] = run_repro(spec, sites, window)
-    return _CACHE[key]
+    Benchmarks that render different metrics of the same workload
+    sweep (e.g. Figures 5–7 all come from one LB8 sweep) share one
+    entry; the key hashes the workload, sweep, window, site parameters
+    and model kwargs, so two callers passing the same workload with
+    different ``sites`` (the log-disk ablation's shared vs. split-disk
+    configurations) or different model kwargs never share a result.
+
+    ``jobs`` defaults to ``$CARAT_BENCH_JOBS`` (serial when unset) and
+    fans cache misses out across worker processes.
+    """
+    if jobs is None:
+        jobs = int(os.environ.get("CARAT_BENCH_JOBS", "1"))
+    warmup, duration = window
+    return fetch_or_run(spec, sites, sim_warmup_ms=warmup,
+                        sim_duration_ms=duration,
+                        model_kwargs=model_kwargs or None, jobs=jobs)
 
 
 def run_repro(spec: ExperimentSpec, sites, window,

@@ -1,0 +1,235 @@
+"""Content-addressed on-disk cache for experiment sweep results.
+
+A full sweep (model + simulator per ``n``) is expensive, and several
+artifacts render different metrics of the *same* sweep (Figures 5–7 are
+one LB8 sweep; Figures 8–10 and Table 5 one MB4 sweep).  The cache key
+is a SHA-256 digest of everything that determines the result:
+
+* the concrete :class:`~repro.model.workload.WorkloadSpec` of every
+  sweep point (not the factory name — two workloads that differ in any
+  field hash differently),
+* the per-site :class:`~repro.model.parameters.SiteParameters`
+  including protocol constants (so e.g. the log-disk ablation's shared
+  vs. split-disk configurations never share an entry),
+* the simulation window and seed, the model kwargs, and whether the
+  simulator ran at all,
+* the sites of interest (they select which points exist), and
+* a cache schema version, bumped whenever the solver or simulator
+  changes semantics.
+
+Entries are pickled :class:`~repro.experiments.runner.SweepPoint`
+tuples stored as ``<digest>.pkl`` under the cache directory
+(``$CARAT_CACHE_DIR``, else ``$XDG_CACHE_HOME/carat-qnm``, else
+``~/.cache/carat-qnm``), fronted by a process-wide in-memory layer.
+Deleting the directory (or any file in it) is always safe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro.model.parameters import SiteParameters, paper_sites
+from repro.experiments.runner import ExperimentResult, ExperimentSpec, \
+    SweepPoint
+
+__all__ = ["CACHE_VERSION", "ResultCache", "default_cache_dir",
+           "run_digest", "fetch_or_run", "fetch_or_run_many",
+           "clear_memory"]
+
+#: Bump to invalidate every existing entry after a semantic change to
+#: the solver, simulator, or the SweepPoint layout.
+CACHE_VERSION = 1
+
+#: Process-wide memory layer, shared by every :class:`ResultCache`
+#: instance (keys are content digests, so the directory is irrelevant).
+_MEMORY: dict[str, tuple[SweepPoint, ...]] = {}
+
+
+def clear_memory() -> None:
+    """Drop the in-memory layer (tests; disk entries are untouched)."""
+    _MEMORY.clear()
+
+
+def default_cache_dir() -> Path:
+    """Cache directory honoring ``CARAT_CACHE_DIR`` / XDG conventions."""
+    override = os.environ.get("CARAT_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "carat-qnm"
+
+
+def _canonical(obj):
+    """JSON-serializable canonical form of model/workload structures."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {"__type__": type(obj).__name__,
+                **{f.name: _canonical(getattr(obj, f.name))
+                   for f in dataclasses.fields(obj)}}
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if isinstance(obj, dict):
+        return sorted(
+            ([_canonical(k), _canonical(v)] for k, v in obj.items()),
+            key=repr)
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for "
+                    f"the result cache key")
+
+
+def run_digest(
+    spec: ExperimentSpec,
+    sites: dict[str, SiteParameters],
+    sim_seed: int,
+    sim_warmup_ms: float,
+    sim_duration_ms: float,
+    run_simulation: bool,
+    model_kwargs: dict | None,
+    warm_start: bool,
+) -> str:
+    """Content digest of one experiment run's inputs."""
+    token = {
+        "version": CACHE_VERSION,
+        "workloads": [spec.workload_factory(n) for n in spec.sweep],
+        "sweep": list(spec.sweep),
+        "sites_of_interest": list(spec.sites_of_interest),
+        "sites": sites,
+        "sim_seed": sim_seed,
+        "sim_warmup_ms": sim_warmup_ms,
+        "sim_duration_ms": sim_duration_ms,
+        "run_simulation": run_simulation,
+        "model_kwargs": model_kwargs or {},
+        "warm_start": warm_start,
+    }
+    text = json.dumps(_canonical(token), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Digest-addressed store of sweep-point tuples (memory + disk)."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = Path(root) if root is not None \
+            else default_cache_dir()
+
+    def path(self, digest: str) -> Path:
+        return self.root / f"{digest}.pkl"
+
+    def get(self, digest: str) -> tuple[SweepPoint, ...] | None:
+        """Points for *digest*, or ``None`` on a miss (a corrupt or
+        unreadable disk entry counts as a miss)."""
+        points = _MEMORY.get(digest)
+        if points is not None:
+            return points
+        try:
+            with open(self.path(digest), "rb") as handle:
+                entry = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            return None
+        if (not isinstance(entry, dict)
+                or entry.get("version") != CACHE_VERSION):
+            return None
+        points = tuple(entry["points"])
+        _MEMORY[digest] = points
+        return points
+
+    def put(self, digest: str, points: tuple[SweepPoint, ...]) -> None:
+        """Store *points* in memory and (best-effort) on disk."""
+        points = tuple(points)
+        _MEMORY[digest] = points
+        entry = {"version": CACHE_VERSION, "points": points}
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(entry, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self.path(digest))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            # A read-only or full cache directory must never fail the
+            # run; the memory layer still serves this process.
+            pass
+
+
+def fetch_or_run_many(
+    specs: list[ExperimentSpec],
+    sites: dict[str, SiteParameters] | None = None,
+    sim_seed: int = 7,
+    sim_warmup_ms: float = 60_000.0,
+    sim_duration_ms: float = 600_000.0,
+    run_simulation: bool = True,
+    model_kwargs: dict | None = None,
+    warm_start: bool = False,
+    jobs: int | None = 1,
+    use_cache: bool = True,
+    cache: ResultCache | None = None,
+) -> list[ExperimentResult]:
+    """Cached experiment runs: serve hits from the content-addressed
+    cache and fan the misses out in one parallel batch.
+
+    ``model_kwargs`` are normalized (the runner's ``max_iterations``
+    default applied) before hashing, so the CLI and the benchmarks
+    address the same entries.
+    """
+    from repro.experiments.parallel import run_experiments
+
+    sites = sites or paper_sites()
+    model_kwargs = dict(model_kwargs or {})
+    model_kwargs.setdefault("max_iterations", 1000)
+    cache = cache or ResultCache()
+    digests = [
+        run_digest(spec, sites, sim_seed, sim_warmup_ms,
+                   sim_duration_ms, run_simulation, model_kwargs,
+                   warm_start)
+        for spec in specs
+    ]
+    results: dict[int, ExperimentResult] = {}
+    if use_cache:
+        for i, (spec, digest) in enumerate(zip(specs, digests)):
+            points = cache.get(digest)
+            if points is not None:
+                results[i] = ExperimentResult(spec=spec, points=points)
+    # Deduplicate misses by digest: specs that render different metrics
+    # of the same sweep (fig5/6/7) compute it once and share the points.
+    missing: dict[str, int] = {}
+    for i in range(len(specs)):
+        if i not in results and digests[i] not in missing:
+            missing[digests[i]] = i
+    if missing:
+        fresh = run_experiments(
+            [specs[i] for i in missing.values()], sites=sites,
+            jobs=jobs, sim_seed=sim_seed, sim_warmup_ms=sim_warmup_ms,
+            sim_duration_ms=sim_duration_ms,
+            run_simulation=run_simulation, model_kwargs=model_kwargs,
+            warm_start=warm_start)
+        computed = dict(zip(missing, fresh))
+        for i in range(len(specs)):
+            if i in results:
+                continue
+            result = computed[digests[i]]
+            if use_cache:
+                cache.put(digests[i], result.points)
+            results[i] = ExperimentResult(spec=specs[i],
+                                          points=result.points)
+    return [results[i] for i in range(len(specs))]
+
+
+def fetch_or_run(spec: ExperimentSpec, *args, **kwargs) -> ExperimentResult:
+    """Single-spec convenience wrapper of :func:`fetch_or_run_many`."""
+    return fetch_or_run_many([spec], *args, **kwargs)[0]

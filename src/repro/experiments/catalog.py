@@ -10,8 +10,8 @@ from __future__ import annotations
 from repro.experiments.runner import ExperimentSpec
 from repro.model.workload import lb8, mb4, mb8, ub6
 
-__all__ = ["EXPERIMENTS", "experiment", "PAPER_TABLE3", "PAPER_TABLE4",
-           "PAPER_TABLE5"]
+__all__ = ["EXPERIMENTS", "experiment", "experiment_specs",
+           "PAPER_TABLE3", "PAPER_TABLE4", "PAPER_TABLE5"]
 
 # Table 3 (MB8): {(n, node): (TR-XPUT, Total-CPU, Total-DIO)}.
 PAPER_TABLE3_MEASURED = {
@@ -116,3 +116,14 @@ def experiment(exp_id: str) -> ExperimentSpec:
             f"unknown experiment {exp_id!r}; valid ids: "
             f"{sorted(EXPERIMENTS)}"
         ) from None
+
+
+def experiment_specs(exp_ids=None) -> list[ExperimentSpec]:
+    """Specs for *exp_ids* (all of them, in catalog order, when None).
+
+    Used by the CLI and the parallel runner to schedule several
+    artifacts' sweep points in one fan-out batch.
+    """
+    if exp_ids is None:
+        exp_ids = list(EXPERIMENTS)
+    return [experiment(exp_id) for exp_id in exp_ids]

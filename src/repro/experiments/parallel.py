@@ -1,0 +1,211 @@
+"""Multiprocessing fan-out over experiment sweep points.
+
+The paper's artifacts are sweeps over the transaction size ``n``, and
+each ``(experiment, n)`` simulation is independent given its seed — the
+classic fork/join shape (cf. queue_flex's ``parallel`` invoker).  This
+module schedules the sweep points of one or more experiments across a
+pool of worker processes:
+
+* one **model task** per experiment solves the whole analytical sweep
+  in a single worker, chained so each ``n`` can warm-start from the
+  previous converged state (:func:`repro.experiments.runner.
+  solve_sweep_models`) — the chain is sequential by nature, but it runs
+  concurrently with every simulation;
+* one **simulation task** per ``(experiment, n)`` runs the CARAT
+  simulator for that point.
+
+Results are reassembled in the exact order the serial path
+(:func:`repro.experiments.runner.run_experiment`) produces, so for the
+same seed and flags the two paths return bit-identical
+:class:`~repro.experiments.runner.ExperimentResult` objects.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from dataclasses import dataclass
+
+from repro.errors import CaratError
+from repro.model.parameters import SiteParameters, paper_sites
+from repro.model.workload import WorkloadSpec
+from repro.experiments.runner import (ExperimentResult, ExperimentSpec,
+                                      SweepPoint, assemble_points,
+                                      solve_sweep_models)
+from repro.testbed.system import simulate
+
+__all__ = ["ParallelExecutionError", "resolve_jobs", "run_experiments",
+           "run_experiment_parallel"]
+
+
+class ParallelExecutionError(CaratError):
+    """A worker process failed while executing a sweep task."""
+
+
+@dataclass(frozen=True)
+class _ModelTask:
+    """Solve one experiment's full analytical sweep (warm-chained)."""
+
+    spec_index: int
+    workloads: tuple[WorkloadSpec, ...]
+    sites: dict[str, SiteParameters]
+    model_kwargs: dict | None
+    warm_start: bool
+
+
+@dataclass(frozen=True)
+class _SimTask:
+    """Run the simulator for one (experiment, n) sweep point."""
+
+    spec_index: int
+    point_index: int
+    workload: WorkloadSpec
+    sites: dict[str, SiteParameters]
+    seed: int
+    warmup_ms: float
+    duration_ms: float
+
+
+def _execute(task):
+    """Run one task (in a worker process or inline)."""
+    if isinstance(task, _ModelTask):
+        return solve_sweep_models(list(task.workloads), task.sites,
+                                  task.model_kwargs,
+                                  warm_start=task.warm_start)
+    return simulate(task.workload, task.sites, seed=task.seed,
+                    warmup_ms=task.warmup_ms,
+                    duration_ms=task.duration_ms)
+
+
+def _worker(in_queue, out_queue) -> None:
+    """Worker loop: pull tasks until the ``None`` sentinel."""
+    while True:
+        item = in_queue.get()
+        if item is None:
+            return
+        index, task = item
+        try:
+            out_queue.put((index, True, _execute(task)))
+        except BaseException as exc:  # ship the failure to the parent
+            out_queue.put((index, False,
+                           (f"{type(exc).__name__}: {exc}",
+                            traceback.format_exc())))
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a worker count (``None`` means one per CPU)."""
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def _fan_out(tasks: list, jobs: int) -> list:
+    """Fork/join: run *tasks* on *jobs* workers, results in task order.
+
+    With one worker (or at most one task) everything runs inline in
+    this process, which keeps ``--jobs 1`` free of multiprocessing
+    overhead and trivially deterministic.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_execute(task) for task in tasks]
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn")
+    in_queue = ctx.Queue()
+    out_queue = ctx.Queue()
+    workers = min(jobs, len(tasks))
+    # Single shared task queue: workers pull as they free up, so an
+    # expensive point (small n simulates slowly) does not stall a
+    # statically assigned partition.
+    for item in enumerate(tasks):
+        in_queue.put(item)
+    for _ in range(workers):
+        in_queue.put(None)
+    processes = [ctx.Process(target=_worker, args=(in_queue, out_queue),
+                             daemon=True)
+                 for _ in range(workers)]
+    for process in processes:
+        process.start()
+    results: list = [None] * len(tasks)
+    failures: list[tuple[int, str, str]] = []
+    try:
+        for _ in range(len(tasks)):
+            index, ok, payload = out_queue.get()
+            if ok:
+                results[index] = payload
+            else:
+                failures.append((index, *payload))
+    finally:
+        for process in processes:
+            process.join()
+    if failures:
+        index, message, trace = failures[0]
+        raise ParallelExecutionError(
+            f"{len(failures)} of {len(tasks)} sweep tasks failed; "
+            f"first failure (task {index}): {message}\n{trace}")
+    return results
+
+
+def run_experiments(
+    specs: list[ExperimentSpec],
+    sites: dict[str, SiteParameters] | None = None,
+    jobs: int | None = None,
+    sim_seed: int = 7,
+    sim_warmup_ms: float = 60_000.0,
+    sim_duration_ms: float = 600_000.0,
+    run_simulation: bool = True,
+    model_kwargs: dict | None = None,
+    warm_start: bool = False,
+) -> list[ExperimentResult]:
+    """Run one or more experiments with their sweep points fanned out
+    across ``jobs`` worker processes.
+
+    Parameters mirror :func:`repro.experiments.runner.run_experiment`;
+    the returned results (one per spec, in spec order) are
+    bit-identical to the serial path for the same arguments and seed.
+    """
+    sites = sites or paper_sites()
+    jobs = resolve_jobs(jobs)
+    sweeps = [tuple(spec.workload_factory(n) for n in spec.sweep)
+              for spec in specs]
+    tasks: list = [
+        _ModelTask(spec_index=i, workloads=workloads, sites=sites,
+                   model_kwargs=model_kwargs, warm_start=warm_start)
+        for i, workloads in enumerate(sweeps)
+    ]
+    if run_simulation:
+        tasks += [
+            _SimTask(spec_index=i, point_index=j, workload=workload,
+                     sites=sites, seed=sim_seed,
+                     warmup_ms=sim_warmup_ms,
+                     duration_ms=sim_duration_ms)
+            for i, workloads in enumerate(sweeps)
+            for j, workload in enumerate(workloads)
+        ]
+    outputs = _fan_out(tasks, jobs)
+
+    solutions = {task.spec_index: output
+                 for task, output in zip(tasks, outputs)
+                 if isinstance(task, _ModelTask)}
+    measurements = {(task.spec_index, task.point_index): output
+                    for task, output in zip(tasks, outputs)
+                    if isinstance(task, _SimTask)}
+    results: list[ExperimentResult] = []
+    for i, spec in enumerate(specs):
+        points: list[SweepPoint] = []
+        for j, n in enumerate(spec.sweep):
+            points += assemble_points(
+                spec, n, solutions[i][j], measurements.get((i, j)))
+        results.append(ExperimentResult(spec=spec, points=tuple(points)))
+    return results
+
+
+def run_experiment_parallel(
+    spec: ExperimentSpec,
+    sites: dict[str, SiteParameters] | None = None,
+    jobs: int | None = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Single-experiment convenience wrapper of :func:`run_experiments`."""
+    return run_experiments([spec], sites=sites, jobs=jobs, **kwargs)[0]

@@ -16,14 +16,14 @@ from typing import Callable
 
 from repro.model.parameters import SiteParameters, paper_sites
 from repro.model.results import ModelSolution
-from repro.model.solver import solve_model
+from repro.model.solver import CaratModel, ModelConfig
 from repro.model.types import BaseType
 from repro.model.workload import WorkloadSpec
 from repro.testbed.metrics import SimulationMeasurement
 from repro.testbed.system import simulate
 
 __all__ = ["ExperimentSpec", "SweepPoint", "ExperimentResult",
-           "run_experiment", "PAPER_SWEEP"]
+           "run_experiment", "solve_sweep_models", "PAPER_SWEEP"]
 
 #: Transaction sizes the paper sweeps (§6).
 PAPER_SWEEP = (4, 8, 12, 16, 20)
@@ -137,6 +137,68 @@ def _sim_point(measurement: SimulationMeasurement, site: str) -> dict:
     }
 
 
+def solve_sweep_models(
+    workloads: list[WorkloadSpec],
+    sites: dict[str, SiteParameters],
+    model_kwargs: dict | None = None,
+    warm_start: bool = False,
+) -> list[ModelSolution]:
+    """Solve the analytical model for a sweep of workloads.
+
+    With ``warm_start=True`` each solve seeds its fixed-point iterates
+    (conflict probabilities, delay-center times, throughputs) from the
+    converged state of the previous workload in the list, which cuts
+    the iteration count on the paper's 5-point sweeps; the fixed point
+    itself is unchanged up to the solver tolerance.
+    """
+    model_kwargs = dict(model_kwargs or {})
+    model_kwargs.setdefault("max_iterations", 1000)
+    solutions: list[ModelSolution] = []
+    seed = None
+    for workload in workloads:
+        model = CaratModel(
+            ModelConfig(workload=workload, sites=sites, **model_kwargs),
+            warm_start=seed if warm_start else None)
+        solutions.append(model.solve())
+        if warm_start:
+            seed = model.snapshot()
+    return solutions
+
+
+def assemble_points(
+    spec: ExperimentSpec,
+    n: int,
+    solution: ModelSolution,
+    measurement: SimulationMeasurement | None,
+) -> list[SweepPoint]:
+    """Build the sweep points of one ``n`` (shared with the parallel
+    runner so both paths produce bit-identical results)."""
+    points: list[SweepPoint] = []
+    for site in spec.sites_of_interest:
+        model = _model_point(solution, site, n)
+        if measurement is not None:
+            sim = _sim_point(measurement, site)
+        else:
+            sim = {"xput": 0.0, "record_xput": 0.0, "cpu": 0.0,
+                   "dio": 0.0, "aborts_per_commit": 0.0,
+                   "by_type": {}}
+        points.append(SweepPoint(
+            n=n, site=site,
+            model_xput=model["xput"],
+            model_record_xput=model["record_xput"],
+            model_cpu=model["cpu"],
+            model_dio=model["dio"],
+            sim_xput=sim["xput"],
+            sim_record_xput=sim["record_xput"],
+            sim_cpu=sim["cpu"],
+            sim_dio=sim["dio"],
+            sim_aborts_per_commit=sim["aborts_per_commit"],
+            model_by_type=model["by_type"],
+            sim_by_type=sim["by_type"],
+        ))
+    return points
+
+
 def run_experiment(
     spec: ExperimentSpec,
     sites: dict[str, SiteParameters] | None = None,
@@ -145,45 +207,30 @@ def run_experiment(
     sim_duration_ms: float = 600_000.0,
     run_simulation: bool = True,
     model_kwargs: dict | None = None,
+    warm_start: bool = False,
 ) -> ExperimentResult:
     """Run the full sweep of one experiment.
 
     ``run_simulation=False`` skips the (slower) simulator and reports
     zeros in the sim columns — useful for model-only sanity sweeps.
+    ``warm_start=True`` chains the model solves across the sweep (see
+    :func:`solve_sweep_models`).
+
+    For fan-out across worker processes see
+    :func:`repro.experiments.parallel.run_experiments`, which produces
+    bit-identical results for the same arguments.
     """
     sites = sites or paper_sites()
-    model_kwargs = dict(model_kwargs or {})
-    model_kwargs.setdefault("max_iterations", 1000)
+    workloads = [spec.workload_factory(n) for n in spec.sweep]
+    solutions = solve_sweep_models(workloads, sites, model_kwargs,
+                                   warm_start=warm_start)
     points: list[SweepPoint] = []
-    for n in spec.sweep:
-        workload = spec.workload_factory(n)
-        solution = solve_model(workload, sites, **model_kwargs)
+    for n, workload, solution in zip(spec.sweep, workloads, solutions):
         if run_simulation:
             measurement = simulate(
                 workload, sites, seed=sim_seed,
                 warmup_ms=sim_warmup_ms, duration_ms=sim_duration_ms)
         else:
             measurement = None
-        for site in spec.sites_of_interest:
-            model = _model_point(solution, site, n)
-            if measurement is not None:
-                sim = _sim_point(measurement, site)
-            else:
-                sim = {"xput": 0.0, "record_xput": 0.0, "cpu": 0.0,
-                       "dio": 0.0, "aborts_per_commit": 0.0,
-                       "by_type": {}}
-            points.append(SweepPoint(
-                n=n, site=site,
-                model_xput=model["xput"],
-                model_record_xput=model["record_xput"],
-                model_cpu=model["cpu"],
-                model_dio=model["dio"],
-                sim_xput=sim["xput"],
-                sim_record_xput=sim["record_xput"],
-                sim_cpu=sim["cpu"],
-                sim_dio=sim["dio"],
-                sim_aborts_per_commit=sim["aborts_per_commit"],
-                model_by_type=model["by_type"],
-                sim_by_type=sim["by_type"],
-            ))
+        points += assemble_points(spec, n, solution, measurement)
     return ExperimentResult(spec=spec, points=tuple(points))

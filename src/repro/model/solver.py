@@ -33,10 +33,26 @@ from repro.queueing.mva_approx import solve_mva_approx
 from repro.queueing.mva_exact import mva_cost, solve_mva_exact
 from repro.queueing.network import ClosedNetwork, NetworkSolution
 
-__all__ = ["ModelConfig", "CaratModel", "solve_model"]
+__all__ = ["ModelConfig", "CaratModel", "solve_model", "WarmStart"]
 
 #: Exact-MVA lattice budget before switching to Schweitzer.
 _EXACT_LATTICE_BUDGET = 300_000
+
+#: Iterate fields carried by a warm-start snapshot.  Everything that is
+#: a *solution* of the fixed point (conflict estimates, delay-center
+#: times, performance measures) transfers between nearby sweep points;
+#: structural quantities (populations, ``q``, lock counts, demands) are
+#: always rebuilt from the new workload.
+_WARM_FIELDS = (
+    "pb", "pd", "pra", "abort_prob", "n_submissions",
+    "r_lw", "r_rw", "r_cw", "r_tms",
+    "locks_held", "blocked_fraction",
+    "response_success_ms", "active_success_ms", "cycle_response_ms",
+    "throughput_per_ms",
+)
+
+#: A converged-iterate snapshot: ``{(site, chain value): {field: value}}``.
+WarmStart = dict[tuple[str, str], dict[str, float]]
 
 
 @dataclass(frozen=True)
@@ -141,15 +157,24 @@ class _ChainState:
 
 
 class CaratModel:
-    """The distributed CARAT queueing network model."""
+    """The distributed CARAT queueing network model.
 
-    def __init__(self, config: ModelConfig):
+    ``warm_start`` optionally seeds the fixed-point iterates from the
+    converged state of a *nearby* solve (see :meth:`snapshot`) — e.g.
+    the previous transaction size of a sweep — which typically cuts the
+    iteration count substantially without changing the fixed point the
+    damped substitution converges to.
+    """
+
+    def __init__(self, config: ModelConfig,
+                 warm_start: WarmStart | None = None):
         self.config = config
         self.workload = config.workload
         self.sites = {name: config.sites[name]
                       for name in self.workload.sites}
         self._state: dict[tuple[str, ChainType], _ChainState] = {}
         self._populations: dict[str, dict[ChainType, int]] = {}
+        self._warm_start = warm_start
         self._init_state()
 
     # ------------------------------------------------------------------
@@ -171,18 +196,62 @@ class CaratModel:
                     population=population, local_requests=l,
                     remote_requests=r, q=q, locks=locks,
                 )
-                state.locks_at_abort = locking.locks_at_abort(locks, 0.0)
-                state.sigma = state.locks_at_abort / locks
+                self._refresh_abort_state(state)
                 self._state[(site_name, chain)] = state
-        # Zero-load execution time seeds the lock model.
+        warmed = self._apply_warm_start()
+        # Zero-load execution time seeds the lock model for chains the
+        # warm-start snapshot did not cover.
         for key, state in self._state.items():
-            site = self.sites[key[0]]
             self._rebuild_demands(key[0], key[1], state)
+            if key in warmed:
+                continue
             d = state.demands
             state.response_success_ms = (d.cpu_ms + d.db_disk_ms
                                          + d.log_disk_ms)
             state.active_success_ms = state.response_success_ms
             state.cycle_response_ms = state.response_success_ms
+
+    def _apply_warm_start(self) -> set[tuple[str, ChainType]]:
+        """Seed iterates from a snapshot; return the chains seeded."""
+        warmed: set[tuple[str, ChainType]] = set()
+        if not self._warm_start:
+            return warmed
+        for key, state in self._state.items():
+            seed = self._warm_start.get((key[0], key[1].value))
+            if not seed:
+                continue
+            for name in _WARM_FIELDS:
+                if name in seed:
+                    setattr(state, name, float(seed[name]))
+            # E[Y] and sigma depend on the *new* lock count; derive
+            # them from the seeded conflict estimates.
+            self._refresh_abort_state(state)
+            warmed.add(key)
+        return warmed
+
+    def snapshot(self) -> WarmStart:
+        """Current iterate values, for warm-starting a nearby solve."""
+        return {
+            (site, chain.value): {name: getattr(state, name)
+                                  for name in _WARM_FIELDS}
+            for (site, chain), state in self._state.items()
+        }
+
+    def _refresh_abort_state(self, state: _ChainState) -> None:
+        """E[Y] and sigma from the current ``Pb * Pd``.
+
+        A chain that acquires no locks is degenerate but valid: it can
+        never be a deadlock victim, so both quantities are zero (the
+        unguarded ratio ``E[Y] / N_lk`` would divide by zero).
+        """
+        if state.locks <= 0.0:
+            state.locks_at_abort = 0.0
+            state.sigma = 0.0
+            return
+        per_lock = min(1.0, state.pb * state.pd)
+        state.locks_at_abort = locking.locks_at_abort(state.locks,
+                                                      per_lock)
+        state.sigma = state.locks_at_abort / state.locks
 
     # ------------------------------------------------------------------
     # iteration pieces
@@ -339,10 +408,7 @@ class CaratModel:
             state.pb = (1 - damping) * state.pb + damping * new_pb
             state.pd = (1 - damping) * state.pd + damping * new_pd
             state.r_lw = (1 - damping) * state.r_lw + damping * new_rlw
-            per_lock = state.pb * state.pd
-            state.locks_at_abort = locking.locks_at_abort(
-                state.locks, per_lock)
-            state.sigma = state.locks_at_abort / state.locks
+            self._refresh_abort_state(state)
 
     def _lock_wait_time(self, chain, populations, locks_held,
                         locks_per_chain, responses) -> float:
@@ -438,11 +504,15 @@ class CaratModel:
                       for _c, state in chains_here)
             busy = sum(state.throughput_per_ms * state.tm_held_ms
                        for _c, state in chains_here)
+            # Clamp the busy time once and derive both the utilization
+            # and the mean service from the clamped value: mixing the
+            # clamped rho with a service time computed from the raw
+            # busy time overstates the wait near saturation.
             rho = min(busy, 0.95)
             if lam <= 0.0 or rho <= 0.0:
                 wait = 0.0
             else:
-                service = busy / lam
+                service = rho / lam
                 wait = rho * service / (1.0 - rho)
             for _chain, state in chains_here:
                 state.r_tms = ((1 - damping) * state.r_tms
@@ -645,7 +715,9 @@ class CaratModel:
 
 
 def solve_model(workload: WorkloadSpec, sites: dict[str, SiteParameters],
+                warm_start: WarmStart | None = None,
                 **kwargs) -> ModelSolution:
     """Convenience one-call API: configure and solve the model."""
     return CaratModel(ModelConfig(workload=workload, sites=sites,
-                                  **kwargs)).solve()
+                                  **kwargs),
+                      warm_start=warm_start).solve()

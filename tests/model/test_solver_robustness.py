@@ -91,3 +91,35 @@ class TestSolverRobustness:
         assert solution.site("B").chains[ChainType.DUS] \
             .throughput_per_s > 0.0
         assert solution.site("B").transaction_throughput_per_s == 0.0
+
+
+class TestZeroLockGuard:
+    """A chain that acquires no locks must solve degenerately, not
+    raise ``ZeroDivisionError`` from ``sigma = E[Y] / N_lk``."""
+
+    def test_zero_lock_workload_solves(self, sites, monkeypatch):
+        from repro.model import demands as demands_mod
+        monkeypatch.setattr(demands_mod, "lock_count",
+                            lambda workload, chain, q: 0.0)
+        workload = WorkloadSpec(
+            "nolocks", {"A": {BaseType.LRO: 2, BaseType.LU: 2}},
+            requests_per_txn=4)
+        solution = solve_model(workload, sites, max_iterations=1000)
+        assert solution.converged
+        for chain in solution.site("A").chains.values():
+            # No locks: no contention, no aborts, no rollback work.
+            assert chain.abort_probability == 0.0
+            assert chain.lock_state.locks_at_abort == 0.0
+            assert chain.throughput_per_s > 0.0
+
+    def test_lock_model_update_with_zeroed_locks(self, sites):
+        from repro.model.solver import CaratModel, ModelConfig
+        from repro.model.workload import mb8
+        model = CaratModel(ModelConfig(workload=mb8(8), sites=sites,
+                                       max_iterations=1000))
+        state = model._state[("A", next(
+            chain for (site, chain) in model._state if site == "A"))]
+        state.locks = 0.0
+        model._update_lock_model("A")   # must not raise
+        assert state.sigma == 0.0
+        assert state.locks_at_abort == 0.0
