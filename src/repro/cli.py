@@ -10,6 +10,13 @@ Subcommands
 ``experiment``
     Reproduce one of the paper's tables/figures (model + simulator)
     and print the comparison table.
+``diagnose``
+    Solve a workload or an experiment's model sweep with convergence
+    tracing attached and emit an iteration-by-iteration JSON report
+    (docs/diagnostics.md).
+``perf``
+    Run the perf-baseline suite, emit ``BENCH_*.json`` records, and
+    optionally gate against a committed baseline (docs/diagnostics.md).
 ``list``
     List the available experiments and workloads.
 """
@@ -86,6 +93,51 @@ def build_parser() -> argparse.ArgumentParser:
                              help="sweep values (default: 0.7x/1x/1.5x "
                                   "of the paper's setting)")
 
+    diagnose = sub.add_parser(
+        "diagnose",
+        help="emit a JSON convergence report for a workload or an "
+             "experiment's model sweep (docs/diagnostics.md)")
+    diagnose.add_argument(
+        "target",
+        help="experiment id (e.g. fig5) or workload name (e.g. MB8)")
+    diagnose.add_argument("-n", "--requests", type=int, default=8,
+                          help="requests per transaction (workload "
+                               "targets only)")
+    diagnose.add_argument("--quick", action="store_true",
+                          help="solve only the first and last sweep "
+                               "points of an experiment target")
+    diagnose.add_argument("--warm-start", action="store_true",
+                          help="chain the sweep solves (experiment "
+                               "targets only)")
+    diagnose.add_argument("--summary-only", action="store_true",
+                          help="omit the per-iteration records and "
+                               "emit only the per-solve summaries")
+    diagnose.add_argument("--output", default="-",
+                          help="file path or '-' for stdout")
+
+    perf = sub.add_parser(
+        "perf",
+        help="run the perf-baseline suite and emit/check BENCH_*.json "
+             "(docs/diagnostics.md)")
+    perf.add_argument("--output-dir", default=None,
+                      help="directory for the fresh BENCH_*.json files "
+                           "(default: don't write)")
+    perf.add_argument("--baseline-dir", default="benchmarks/baselines",
+                      help="committed baseline to compare against")
+    perf.add_argument("--check", action="store_true",
+                      help="fail (exit 1) on >tolerance regression "
+                           "against the baseline")
+    perf.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline directory with this "
+                           "run's records")
+    perf.add_argument("--tolerance", type=float, default=0.25,
+                      help="allowed relative regression on "
+                           "deterministic counters (default 0.25)")
+    perf.add_argument("--time-tolerance", type=float, default=None,
+                      help="allowed relative wall-time regression "
+                           "(default: same as --tolerance; CI uses a "
+                           "looser value for runner noise)")
+
     export = sub.add_parser(
         "export", help="export one experiment's sweep as CSV")
     export.add_argument("exp_id", choices=sorted(EXPERIMENTS))
@@ -118,6 +170,10 @@ def _sweep_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--warm-start", action="store_true",
                         help="seed each model solve from the previous "
                              "sweep point's converged state")
+    parser.add_argument("--trace", action="store_true",
+                        help="record per-solve convergence traces "
+                             "(attached to cached results; "
+                             "docs/diagnostics.md)")
 
 
 def _run_specs(specs, args, duration: float):
@@ -127,7 +183,8 @@ def _run_specs(specs, args, duration: float):
     return fetch_or_run_many(
         specs, sim_duration_ms=duration, sim_warmup_ms=duration / 10,
         run_simulation=not args.model_only, jobs=jobs,
-        warm_start=args.warm_start, use_cache=args.cached)
+        warm_start=args.warm_start, use_cache=args.cached,
+        trace=getattr(args, "trace", False))
 
 
 def _cmd_model(args) -> int:
@@ -184,7 +241,52 @@ def _cmd_experiment(args) -> int:
                 print()
         else:
             print(render_summary_table(result))
+        if args.trace:
+            _print_trace_summaries(result)
     return 0
+
+
+def _print_trace_summaries(result) -> None:
+    """One convergence line per sweep point (--trace)."""
+    print("model convergence:")
+    seen = set()
+    for point in result.points:
+        if point.n in seen or not point.model_trace:
+            continue
+        seen.add(point.n)
+        summary = point.model_trace["summary"]
+        print(f"  n={point.n}: {summary['diagnosis']}")
+
+
+def _cmd_diagnose(args) -> int:
+    from repro.experiments.diagnose import diagnose_report, render_json
+    report = diagnose_report(
+        args.target, requests=args.requests, quick=args.quick,
+        warm_start=args.warm_start)
+    text = render_json(report, include_iterations=not args.summary_only)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    return 0 if all(p["summary"]["converged"]
+                    for p in report["points"]) else 1
+
+
+def _cmd_perf(args) -> int:
+    from repro.experiments.perf import main as perf_main
+    argv = ["--baseline-dir", args.baseline_dir,
+            "--tolerance", str(args.tolerance)]
+    if args.output_dir:
+        argv += ["--output-dir", args.output_dir]
+    if args.check:
+        argv.append("--check")
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    if args.time_tolerance is not None:
+        argv += ["--time-tolerance", str(args.time_tolerance)]
+    return perf_main(argv)
 
 
 def _cmd_report(args) -> int:
@@ -261,6 +363,8 @@ def main(argv: list[str] | None = None) -> int:
         "model": _cmd_model,
         "simulate": _cmd_simulate,
         "experiment": _cmd_experiment,
+        "diagnose": _cmd_diagnose,
+        "perf": _cmd_perf,
         "report": _cmd_report,
         "calibrate": _cmd_calibrate,
         "sensitivity": _cmd_sensitivity,

@@ -8,11 +8,19 @@ from __future__ import annotations
 
 import os
 
-from repro.experiments.cache import fetch_or_run
+from repro.experiments.cache import CacheStats, fetch_or_run
 from repro.experiments.runner import ExperimentResult, ExperimentSpec, \
     run_experiment
 
-__all__ = ["run_repro", "cached_run", "attach_series", "shape_checks"]
+__all__ = ["run_repro", "cached_run", "attach_series", "shape_checks",
+           "SESSION_CACHE_STATS"]
+
+#: Hit/miss counters accumulated across every :func:`cached_run` of a
+#: benchmark session.  The ``CARAT_BENCH_EMIT`` hook in
+#: ``benchmarks/conftest.py`` stamps these into each ``BENCH_*.json``
+#: record, so a perf trajectory can tell a cold timing from one served
+#: by the result cache.
+SESSION_CACHE_STATS = CacheStats()
 
 
 def cached_run(spec: ExperimentSpec, sites, window,
@@ -36,7 +44,8 @@ def cached_run(spec: ExperimentSpec, sites, window,
     warmup, duration = window
     return fetch_or_run(spec, sites, sim_warmup_ms=warmup,
                         sim_duration_ms=duration,
-                        model_kwargs=model_kwargs or None, jobs=jobs)
+                        model_kwargs=model_kwargs or None, jobs=jobs,
+                        stats=SESSION_CACHE_STATS)
 
 
 def run_repro(spec: ExperimentSpec, sites, window,

@@ -39,13 +39,14 @@ from repro.model.parameters import SiteParameters, paper_sites
 from repro.experiments.runner import ExperimentResult, ExperimentSpec, \
     SweepPoint
 
-__all__ = ["CACHE_VERSION", "ResultCache", "default_cache_dir",
-           "run_digest", "fetch_or_run", "fetch_or_run_many",
-           "clear_memory"]
+__all__ = ["CACHE_VERSION", "CacheStats", "ResultCache",
+           "default_cache_dir", "run_digest", "fetch_or_run",
+           "fetch_or_run_many", "clear_memory"]
 
 #: Bump to invalidate every existing entry after a semantic change to
 #: the solver, simulator, or the SweepPoint layout.
-CACHE_VERSION = 1
+#: 2: SweepPoint grew ``model_trace``; digests hash the trace flag.
+CACHE_VERSION = 2
 
 #: Process-wide memory layer, shared by every :class:`ResultCache`
 #: instance (keys are content digests, so the directory is irrelevant).
@@ -55,6 +56,23 @@ _MEMORY: dict[str, tuple[SweepPoint, ...]] = {}
 def clear_memory() -> None:
     """Drop the in-memory layer (tests; disk entries are untouched)."""
     _MEMORY.clear()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters for one batch of cached experiment runs."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from the cache (0 when idle)."""
+        return self.hits / self.requests if self.requests else 0.0
 
 
 def default_cache_dir() -> Path:
@@ -96,6 +114,7 @@ def run_digest(
     run_simulation: bool,
     model_kwargs: dict | None,
     warm_start: bool,
+    trace: bool = False,
 ) -> str:
     """Content digest of one experiment run's inputs."""
     token = {
@@ -110,6 +129,10 @@ def run_digest(
         "run_simulation": run_simulation,
         "model_kwargs": model_kwargs or {},
         "warm_start": warm_start,
+        # Traced and untraced runs converge to the same numbers but
+        # store different payloads (model_trace), so they must not
+        # share an entry.
+        "trace": trace,
     }
     text = json.dumps(_canonical(token), sort_keys=True,
                       separators=(",", ":"))
@@ -176,16 +199,19 @@ def fetch_or_run_many(
     run_simulation: bool = True,
     model_kwargs: dict | None = None,
     warm_start: bool = False,
+    trace: bool = False,
     jobs: int | None = 1,
     use_cache: bool = True,
     cache: ResultCache | None = None,
+    stats: CacheStats | None = None,
 ) -> list[ExperimentResult]:
     """Cached experiment runs: serve hits from the content-addressed
     cache and fan the misses out in one parallel batch.
 
     ``model_kwargs`` are normalized (the runner's ``max_iterations``
     default applied) before hashing, so the CLI and the benchmarks
-    address the same entries.
+    address the same entries.  Pass a :class:`CacheStats` as *stats*
+    to observe the batch's hit/miss counts (perf gate, benchmarks).
     """
     from repro.experiments.parallel import run_experiments
 
@@ -193,10 +219,11 @@ def fetch_or_run_many(
     model_kwargs = dict(model_kwargs or {})
     model_kwargs.setdefault("max_iterations", 1000)
     cache = cache or ResultCache()
+    stats = stats if stats is not None else CacheStats()
     digests = [
         run_digest(spec, sites, sim_seed, sim_warmup_ms,
                    sim_duration_ms, run_simulation, model_kwargs,
-                   warm_start)
+                   warm_start, trace=trace)
         for spec in specs
     ]
     results: dict[int, ExperimentResult] = {}
@@ -204,7 +231,9 @@ def fetch_or_run_many(
         for i, (spec, digest) in enumerate(zip(specs, digests)):
             points = cache.get(digest)
             if points is not None:
+                stats.hits += 1
                 results[i] = ExperimentResult(spec=spec, points=points)
+    stats.misses += len(specs) - len(results)
     # Deduplicate misses by digest: specs that render different metrics
     # of the same sweep (fig5/6/7) compute it once and share the points.
     missing: dict[str, int] = {}
@@ -217,7 +246,7 @@ def fetch_or_run_many(
             jobs=jobs, sim_seed=sim_seed, sim_warmup_ms=sim_warmup_ms,
             sim_duration_ms=sim_duration_ms,
             run_simulation=run_simulation, model_kwargs=model_kwargs,
-            warm_start=warm_start)
+            warm_start=warm_start, trace=trace)
         computed = dict(zip(missing, fresh))
         for i in range(len(specs)):
             if i in results:

@@ -1,0 +1,96 @@
+"""Convergence reports for the ``repro diagnose`` CLI subcommand.
+
+Solves a workload (or every sweep point of an experiment's model
+sweep) with a :class:`~repro.model.diagnostics.ConvergenceTrace`
+attached and packages the traces into one JSON-ready report: per solve
+a summary (converged?, iterations, final residual vs. tolerance,
+contraction rate, stalled chain, per-phase wall time) plus the
+iteration-by-iteration records.
+
+Solves never raise on non-convergence here — a failed solve is exactly
+what the report must explain — so callers should check the per-point
+``summary.converged`` flags (the CLI exits 1 when any is false).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.experiments.catalog import EXPERIMENTS
+from repro.experiments.runner import solve_sweep_models
+from repro.model.parameters import paper_sites
+from repro.model.workload import STANDARD_WORKLOADS
+
+__all__ = ["diagnose_report", "render_json"]
+
+
+def diagnose_report(
+    target: str,
+    requests: int = 8,
+    quick: bool = False,
+    warm_start: bool = False,
+    model_kwargs: dict | None = None,
+) -> dict[str, Any]:
+    """Build the convergence report for one diagnose target.
+
+    *target* is either an experiment id (its whole model sweep is
+    solved; ``quick=True`` keeps only the first and last points) or a
+    workload name (a single solve at ``requests``).
+    """
+    sites = paper_sites()
+    if target in EXPERIMENTS:
+        spec = EXPERIMENTS[target]
+        sweep = list(spec.sweep)
+        if quick and len(sweep) > 2:
+            sweep = [sweep[0], sweep[-1]]
+        workloads = [spec.workload_factory(n) for n in sweep]
+        kind = "experiment"
+        title = spec.title
+    elif target in STANDARD_WORKLOADS:
+        workloads = [STANDARD_WORKLOADS[target](requests)]
+        kind = "workload"
+        title = f"workload {target}, n={requests}"
+    else:
+        known = sorted(EXPERIMENTS) + sorted(STANDARD_WORKLOADS)
+        raise ConfigurationError(
+            f"unknown diagnose target {target!r}; choose one of {known}"
+        )
+
+    solutions = solve_sweep_models(
+        workloads,
+        sites,
+        model_kwargs={"raise_on_nonconvergence": False, **(model_kwargs or {})},
+        warm_start=warm_start,
+        trace=True,
+    )
+
+    points = []
+    for workload, solution in zip(workloads, solutions):
+        trace = solution.trace
+        assert trace is not None  # solve_sweep_models(trace=True)
+        payload = trace.to_dict()
+        payload["n"] = workload.requests_per_txn
+        points.append(payload)
+    return {
+        "target": target,
+        "kind": kind,
+        "title": title,
+        "warm_start": warm_start,
+        "points": points,
+    }
+
+
+def render_json(report: dict[str, Any], include_iterations: bool = True) -> str:
+    """Serialize a report, optionally dropping the per-iteration
+    records (summaries always stay)."""
+    if not include_iterations:
+        report = {
+            **report,
+            "points": [
+                {k: v for k, v in point.items() if k != "iterations"}
+                for point in report["points"]
+            ],
+        }
+    return json.dumps(report, indent=2)

@@ -52,6 +52,7 @@ class _ModelTask:
     sites: dict[str, SiteParameters]
     model_kwargs: dict | None
     warm_start: bool
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -72,7 +73,8 @@ def _execute(task):
     if isinstance(task, _ModelTask):
         return solve_sweep_models(list(task.workloads), task.sites,
                                   task.model_kwargs,
-                                  warm_start=task.warm_start)
+                                  warm_start=task.warm_start,
+                                  trace=task.trace)
     return simulate(task.workload, task.sites, seed=task.seed,
                     warmup_ms=task.warmup_ms,
                     duration_ms=task.duration_ms)
@@ -157,6 +159,7 @@ def run_experiments(
     run_simulation: bool = True,
     model_kwargs: dict | None = None,
     warm_start: bool = False,
+    trace: bool = False,
 ) -> list[ExperimentResult]:
     """Run one or more experiments with their sweep points fanned out
     across ``jobs`` worker processes.
@@ -164,6 +167,9 @@ def run_experiments(
     Parameters mirror :func:`repro.experiments.runner.run_experiment`;
     the returned results (one per spec, in spec order) are
     bit-identical to the serial path for the same arguments and seed.
+    ``trace=True`` records per-solve convergence traces in the model
+    workers and ships them back attached to the solutions (and hence
+    the assembled sweep points).
     """
     sites = sites or paper_sites()
     jobs = resolve_jobs(jobs)
@@ -171,7 +177,8 @@ def run_experiments(
               for spec in specs]
     tasks: list = [
         _ModelTask(spec_index=i, workloads=workloads, sites=sites,
-                   model_kwargs=model_kwargs, warm_start=warm_start)
+                   model_kwargs=model_kwargs, warm_start=warm_start,
+                   trace=trace)
         for i, workloads in enumerate(sweeps)
     ]
     if run_simulation:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.model.diagnostics import ConvergenceTrace
 from repro.model.parameters import SiteParameters, paper_sites
 from repro.model.results import ModelSolution
 from repro.model.solver import CaratModel, ModelConfig
@@ -79,6 +80,11 @@ class SweepPoint:
     sim_aborts_per_commit: float
     model_by_type: dict[BaseType, float] = field(default_factory=dict)
     sim_by_type: dict[BaseType, float] = field(default_factory=dict)
+    #: JSON-ready convergence trace of this point's model solve
+    #: (:meth:`repro.model.diagnostics.ConvergenceTrace.to_dict`),
+    #: populated only when the sweep ran with tracing enabled.  Shared
+    #: by every site of the same ``n``; rides through the result cache.
+    model_trace: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -142,6 +148,7 @@ def solve_sweep_models(
     sites: dict[str, SiteParameters],
     model_kwargs: dict | None = None,
     warm_start: bool = False,
+    trace: bool = False,
 ) -> list[ModelSolution]:
     """Solve the analytical model for a sweep of workloads.
 
@@ -150,6 +157,10 @@ def solve_sweep_models(
     converged state of the previous workload in the list, which cuts
     the iteration count on the paper's 5-point sweeps; the fixed point
     itself is unchanged up to the solver tolerance.
+
+    With ``trace=True`` every solve runs with a fresh
+    :class:`~repro.model.diagnostics.ConvergenceTrace` attached, left
+    on each returned solution's ``trace`` field.
     """
     model_kwargs = dict(model_kwargs or {})
     model_kwargs.setdefault("max_iterations", 1000)
@@ -158,7 +169,8 @@ def solve_sweep_models(
     for workload in workloads:
         model = CaratModel(
             ModelConfig(workload=workload, sites=sites, **model_kwargs),
-            warm_start=seed if warm_start else None)
+            warm_start=seed if warm_start else None,
+            diagnostics=ConvergenceTrace() if trace else None)
         solutions.append(model.solve())
         if warm_start:
             seed = model.snapshot()
@@ -174,6 +186,8 @@ def assemble_points(
     """Build the sweep points of one ``n`` (shared with the parallel
     runner so both paths produce bit-identical results)."""
     points: list[SweepPoint] = []
+    trace_dict = (solution.trace.to_dict()
+                  if solution.trace is not None else None)
     for site in spec.sites_of_interest:
         model = _model_point(solution, site, n)
         if measurement is not None:
@@ -195,6 +209,7 @@ def assemble_points(
             sim_aborts_per_commit=sim["aborts_per_commit"],
             model_by_type=model["by_type"],
             sim_by_type=sim["by_type"],
+            model_trace=trace_dict,
         ))
     return points
 
@@ -208,13 +223,16 @@ def run_experiment(
     run_simulation: bool = True,
     model_kwargs: dict | None = None,
     warm_start: bool = False,
+    trace: bool = False,
 ) -> ExperimentResult:
     """Run the full sweep of one experiment.
 
     ``run_simulation=False`` skips the (slower) simulator and reports
     zeros in the sim columns — useful for model-only sanity sweeps.
     ``warm_start=True`` chains the model solves across the sweep (see
-    :func:`solve_sweep_models`).
+    :func:`solve_sweep_models`).  ``trace=True`` records a convergence
+    trace per model solve, attached to the sweep points as
+    ``model_trace`` (docs/diagnostics.md).
 
     For fan-out across worker processes see
     :func:`repro.experiments.parallel.run_experiments`, which produces
@@ -223,7 +241,7 @@ def run_experiment(
     sites = sites or paper_sites()
     workloads = [spec.workload_factory(n) for n in spec.sweep]
     solutions = solve_sweep_models(workloads, sites, model_kwargs,
-                                   warm_start=warm_start)
+                                   warm_start=warm_start, trace=trace)
     points: list[SweepPoint] = []
     for n, workload, solution in zip(spec.sweep, workloads, solutions):
         if run_simulation:

@@ -93,8 +93,8 @@ def transition_matrix(
         Row-stochastic matrix indexed by
         :data:`repro.model.types.PHASE_ORDER`.
     """
-    l, r, q = local_requests, remote_requests, ios_per_request
-    if l < 0 or r < 0:
+    loc, r, q = local_requests, remote_requests, ios_per_request
+    if loc < 0 or r < 0:
         raise ConfigurationError("request counts must be non-negative")
     if q <= 0:
         raise ConfigurationError("ios_per_request must be positive")
@@ -106,7 +106,7 @@ def transition_matrix(
                                  f"remote requests")
     if chain.is_coordinator and r < 1:
         raise ConfigurationError("coordinator needs >= 1 remote request")
-    if l + r < 1:
+    if loc + r < 1:
         raise ConfigurationError("a transaction issues >= 1 request")
 
     pb = conflict.blocking
@@ -121,21 +121,21 @@ def transition_matrix(
     if chain.is_slave:
         # Slaves are awakened by the first REMDO; there is no user
         # process or INIT phase at the slave site.
-        c = 2 * l + 1
+        c = 2 * loc + 1
         set_p(Phase.UT, Phase.TM, 1.0)
-        set_p(Phase.TM, Phase.DM, l / c)
-        set_p(Phase.TM, Phase.RW, l / c)
+        set_p(Phase.TM, Phase.DM, loc / c)
+        set_p(Phase.TM, Phase.RW, loc / c)
         set_p(Phase.TM, Phase.TC, 1 / c)
         set_p(Phase.RW, Phase.TM, 1.0 - pra)
         set_p(Phase.RW, Phase.TA, pra)
     else:
-        n = l + r
+        n = loc + r
         c = 2 * n + 1
         set_p(Phase.UT, Phase.INIT, 1.0)
         set_p(Phase.INIT, Phase.U, 1.0)
         set_p(Phase.U, Phase.TM, 1.0)
         set_p(Phase.TM, Phase.U, n / c)
-        set_p(Phase.TM, Phase.DM, l / c)
+        set_p(Phase.TM, Phase.DM, loc / c)
         if r:
             set_p(Phase.TM, Phase.RW, r / c)
             set_p(Phase.RW, Phase.TM, 1.0 - pra)
@@ -199,19 +199,19 @@ def expected_visits_no_conflict(
     ``V_U = n + 1`` (local/coordinator), ``V_RW = r`` (coordinator) or
     ``l`` (slave), ``V_TC = V_CWC = V_TCIO = V_UL = 1``.
     """
-    l, r, q = local_requests, remote_requests, ios_per_request
+    loc, r, q = local_requests, remote_requests, ios_per_request
     counts = {phase: 0.0 for phase in PHASE_ORDER}
     counts[Phase.UT] = 1.0
-    counts[Phase.DM] = l * (q + 1)
-    counts[Phase.LR] = l * q
-    counts[Phase.DMIO] = l * q
+    counts[Phase.DM] = loc * (q + 1)
+    counts[Phase.LR] = loc * q
+    counts[Phase.DMIO] = loc * q
     counts[Phase.TC] = counts[Phase.CWC] = counts[Phase.TCIO] = 1.0
     counts[Phase.UL] = 1.0
     if chain.is_slave:
-        counts[Phase.TM] = 2 * l + 1
-        counts[Phase.RW] = l
+        counts[Phase.TM] = 2 * loc + 1
+        counts[Phase.RW] = loc
     else:
-        n = l + r
+        n = loc + r
         counts[Phase.TM] = 2 * n + 1
         counts[Phase.U] = n + 1
         counts[Phase.INIT] = 1.0

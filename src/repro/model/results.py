@@ -8,9 +8,13 @@ user-facing measures (TR-XPUT, Total-DIO).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.model.locking import LockModelState
 from repro.model.types import ChainType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.model.diagnostics import ConvergenceTrace
 
 __all__ = ["ChainResult", "SiteResult", "ModelSolution"]
 
@@ -110,6 +114,10 @@ class ModelSolution:
     iterations: int
     residual: float
     converged: bool
+    #: Convergence diagnostics, populated only when the solve ran with
+    #: a :class:`~repro.model.diagnostics.ConvergenceTrace` attached.
+    trace: "ConvergenceTrace | None" = field(default=None, compare=False,
+                                             repr=False)
 
     def site(self, name: str) -> SiteResult:
         """Result for one site."""

@@ -17,11 +17,14 @@ communication delay ``alpha`` defaults to zero (§6).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.model import demands as demands_mod
 from repro.model import locking, remote
+from repro.model.diagnostics import (ConvergenceTrace, IterationRecord,
+                                     TRACKED_FIELDS)
 from repro.model.parameters import SiteParameters
 from repro.model.phases import ConflictProbabilities, transition_matrix, \
     visit_counts
@@ -112,6 +115,12 @@ class ModelConfig:
             raise ConfigurationError(f"unknown mva mode {self.mva!r}")
         if not 0.0 < self.damping <= 1.0:
             raise ConfigurationError("damping must be in (0, 1]")
+        if self.max_iterations < 1:
+            raise ConfigurationError(
+                f"max_iterations must be >= 1, got {self.max_iterations}")
+        if not self.tolerance > 0.0:
+            raise ConfigurationError(
+                f"tolerance must be positive, got {self.tolerance}")
 
 
 @dataclass
@@ -164,10 +173,17 @@ class CaratModel:
     the previous transaction size of a sweep — which typically cuts the
     iteration count substantially without changing the fixed point the
     damped substitution converges to.
+
+    ``diagnostics`` optionally attaches a
+    :class:`~repro.model.diagnostics.ConvergenceTrace` that records a
+    per-iteration convergence report during :meth:`solve`.  Detached
+    (the default), the iteration hot path is identical to the
+    uninstrumented solver: no timing calls, no extra allocation.
     """
 
     def __init__(self, config: ModelConfig,
-                 warm_start: WarmStart | None = None):
+                 warm_start: WarmStart | None = None,
+                 diagnostics: ConvergenceTrace | None = None):
         self.config = config
         self.workload = config.workload
         self.sites = {name: config.sites[name]
@@ -175,6 +191,7 @@ class CaratModel:
         self._state: dict[tuple[str, ChainType], _ChainState] = {}
         self._populations: dict[str, dict[ChainType, int]] = {}
         self._warm_start = warm_start
+        self._diag = diagnostics
         self._init_state()
 
     # ------------------------------------------------------------------
@@ -189,12 +206,12 @@ class CaratModel:
                 if population == 0:
                     continue
                 q = demands_mod.ios_per_request(site, self.workload, chain)
-                l = self.workload.local_requests(chain)
-                r = self.workload.remote_requests(chain)
+                local = self.workload.local_requests(chain)
+                remote_reqs = self.workload.remote_requests(chain)
                 locks = demands_mod.lock_count(self.workload, chain, q)
                 state = _ChainState(
-                    population=population, local_requests=l,
-                    remote_requests=r, q=q, locks=locks,
+                    population=population, local_requests=local,
+                    remote_requests=remote_reqs, q=q, locks=locks,
                 )
                 self._refresh_abort_state(state)
                 self._state[(site_name, chain)] = state
@@ -348,14 +365,20 @@ class CaratModel:
             centers.append(ServiceCenter("tms", CenterKind.DELAY, tms))
         return ClosedNetwork(centers=tuple(centers), populations=chains)
 
-    def _solve_site(self, network: ClosedNetwork) -> NetworkSolution:
+    def _solve_site(self, network: ClosedNetwork,
+                    mva_stats: dict[str, int] | None = None
+                    ) -> NetworkSolution:
         mode = self.config.mva
         if mode == "auto":
             mode = ("exact" if mva_cost(network) <= _EXACT_LATTICE_BUDGET
                     else "approx")
+        if mva_stats is not None:
+            mva_stats["solves"] += 1
         if mode == "exact":
+            if mva_stats is not None:
+                mva_stats["lattice"] += mva_cost(network)
             return solve_mva_exact(network)
-        return solve_mva_approx(network)
+        return solve_mva_approx(network, stats=mva_stats)
 
     def _chain_items(self, site_name: str):
         for (s, chain), state in self._state.items():
@@ -598,7 +621,16 @@ class CaratModel:
     # ------------------------------------------------------------------
 
     def solve(self) -> ModelSolution:
-        """Run the fixed-point iteration to convergence."""
+        """Run the fixed-point iteration to convergence.
+
+        With diagnostics attached the solve runs an instrumented copy
+        of the loop (:meth:`_solve_traced`); the phase methods are
+        shared, so both paths visit the same fixed point.  Keeping two
+        loops means the common (detached) path performs no timing
+        calls and allocates nothing per iteration.
+        """
+        if self._diag is not None:
+            return self._solve_traced(self._diag)
         residual = float("inf")
         iterations = 0
         solutions: dict[str, NetworkSolution] = {}
@@ -629,18 +661,118 @@ class CaratModel:
                 )
         return self._build_solution(solutions, iterations, residual)
 
+    def _solve_traced(self, diag: ConvergenceTrace) -> ModelSolution:
+        """Instrumented twin of :meth:`solve` (same phases, same fixed
+        point) that fills *diag* with one record per outer iteration."""
+        clock = time.perf_counter
+        diag.begin_solve(
+            self.workload.name, self.workload.requests_per_txn,
+            self.config.tolerance, self.config.damping,
+            warm_started=bool(self._warm_start),
+        )
+        residual = float("inf")
+        prev_residual: float | None = None
+        iterations = 0
+        solutions: dict[str, NetworkSolution] = {}
+        for iterations in range(1, self.config.max_iterations + 1):
+            t0 = clock()
+            for key, state in self._state.items():
+                self._rebuild_demands(key[0], key[1], state)
+            t1 = clock()
+
+            mva_stats = {"solves": 0, "inner": 0, "lattice": 0}
+            solutions = {
+                name: self._solve_site(self._site_network(name), mva_stats)
+                for name in self.workload.sites
+            }
+            t2 = clock()
+
+            # The damped iterate fields only move during the update
+            # phases below, so snapshot them here for the step sizes.
+            before = {
+                key: tuple(getattr(state, name) for name in TRACKED_FIELDS)
+                for key, state in self._state.items()
+            }
+            chain_residuals: dict[str, float] = {}
+            residual = self._absorb_solutions(solutions, chain_residuals)
+            t3 = clock()
+            self._update_abort_probabilities()
+            t4 = clock()
+            for name in self.workload.sites:
+                self._update_lock_model(name)
+            t5 = clock()
+            self._update_remote_waits(solutions)
+            t6 = clock()
+            if self.config.model_tm_serialization:
+                self._update_tm_serialization()
+            t7 = clock()
+
+            field_residuals = dict.fromkeys(TRACKED_FIELDS, 0.0)
+            for key, state in self._state.items():
+                prior = before[key]
+                for i, name in enumerate(TRACKED_FIELDS):
+                    step = abs(getattr(state, name) - prior[i])
+                    if step > field_residuals[name]:
+                        field_residuals[name] = step
+            contraction = (residual / prev_residual
+                           if prev_residual else None)
+            diag.append(IterationRecord(
+                index=iterations,
+                residual=residual,
+                chain_residuals=chain_residuals,
+                field_residuals=field_residuals,
+                phase_ms={
+                    "demands": (t1 - t0) * 1e3,
+                    "mva": (t2 - t1) * 1e3,
+                    "absorb": (t3 - t2) * 1e3,
+                    "abort": (t4 - t3) * 1e3,
+                    "lock": (t5 - t4) * 1e3,
+                    "remote": (t6 - t5) * 1e3,
+                    "tms": (t7 - t6) * 1e3,
+                },
+                mva_solves=mva_stats["solves"],
+                mva_inner_iterations=mva_stats["inner"],
+                mva_lattice_points=mva_stats["lattice"],
+                contraction=contraction,
+            ))
+            prev_residual = residual
+            if residual < self.config.tolerance:
+                break
+        converged = residual < self.config.tolerance
+        diag.finish(converged, iterations, residual)
+        if not converged and self.config.raise_on_nonconvergence:
+            raise ConvergenceError(
+                f"model did not converge for workload "
+                f"{self.workload.name} (n="
+                f"{self.workload.requests_per_txn})",
+                iterations=iterations, residual=residual,
+            )
+        return self._build_solution(solutions, iterations, residual)
+
     def _absorb_solutions(
-            self, solutions: dict[str, NetworkSolution]) -> float:
-        """Record per-chain measures; return max relative X change."""
+            self, solutions: dict[str, NetworkSolution],
+            per_chain: dict[str, float] | None = None) -> float:
+        """Record per-chain measures; return max relative X change.
+
+        When *per_chain* is given (traced solves only), it is filled
+        with each chain's relative throughput change keyed
+        ``"site/chain"``, so a stalled solve can be attributed.
+        """
         residual = 0.0
         for (site_name, chain), state in self._state.items():
             sol = solutions[site_name]
             x = sol.throughput[chain.value]
             if state.throughput_per_ms > 0:
-                residual = max(residual, abs(x - state.throughput_per_ms)
-                               / state.throughput_per_ms)
+                change = (abs(x - state.throughput_per_ms)
+                          / state.throughput_per_ms)
             elif x > 0:
-                residual = max(residual, 1.0)
+                change = 1.0
+            else:
+                change = 0.0
+            if change > residual:
+                residual = change
+            if per_chain is not None:
+                per_chain[f"{site_name}/{chain.value}"] = change
             state.throughput_per_ms = x
             state.cycle_response_ms = sol.response_time[chain.value]
             in_execution = (state.cycle_response_ms
@@ -711,13 +843,16 @@ class CaratModel:
             iterations=iterations,
             residual=residual,
             converged=residual < self.config.tolerance,
+            trace=self._diag,
         )
 
 
 def solve_model(workload: WorkloadSpec, sites: dict[str, SiteParameters],
                 warm_start: WarmStart | None = None,
+                diagnostics: ConvergenceTrace | None = None,
                 **kwargs) -> ModelSolution:
     """Convenience one-call API: configure and solve the model."""
     return CaratModel(ModelConfig(workload=workload, sites=sites,
                                   **kwargs),
-                      warm_start=warm_start).solve()
+                      warm_start=warm_start,
+                      diagnostics=diagnostics).solve()

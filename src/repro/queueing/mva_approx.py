@@ -28,6 +28,7 @@ def solve_mva_approx(
     tolerance: float = 1e-8,
     max_iterations: int = 10_000,
     damping: float = 0.5,
+    stats: dict | None = None,
 ) -> NetworkSolution:
     """Solve a closed network with the Schweitzer-Bard approximation.
 
@@ -43,6 +44,10 @@ def solve_mva_approx(
     damping:
         Weight of the new iterate in the damped update
         (1.0 = undamped).
+    stats:
+        Optional mutable counter dict (solver diagnostics): the number
+        of inner fixed-point iterations performed is *added* to its
+        ``"inner"`` key.
 
     Returns
     -------
@@ -55,7 +60,6 @@ def solve_mva_approx(
     populations = {k: network.populations[k] for k in chains}
     demands = {(c.name, k): c.demand(k) for c in centers for k in chains}
 
-    n_centers = max(1, len(queueing))
     # Initial guess: spread each chain evenly over the queueing centers
     # it actually visits.
     queue: dict[tuple[str, str], float] = {}
@@ -111,6 +115,8 @@ def solve_mva_approx(
             iterations=max_iterations, residual=delta,
         )
 
+    if stats is not None:
+        stats["inner"] = stats.get("inner", 0) + iteration + 1
     return _assemble(network, chains, demands, throughput, residence)
 
 

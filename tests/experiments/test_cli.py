@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -49,3 +51,46 @@ class TestCommands:
         assert main(["experiment", "tab5", "--model-only"]) == 0
         out = capsys.readouterr().out
         assert "LRO" in out and "mod-A" in out
+
+
+class TestDiagnoseCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["diagnose", "MB8"])
+        assert args.target == "MB8"
+        assert args.requests == 8
+        assert args.output == "-"
+        assert not args.quick
+
+    def test_workload_summary_to_stdout(self, capsys):
+        assert main(["diagnose", "MB8", "-n", "4",
+                     "--summary-only"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["target"] == "MB8"
+        assert report["points"][0]["summary"]["converged"] is True
+        assert "iterations" not in report["points"][0]
+
+    def test_report_written_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(["diagnose", "MB8", "-n", "4",
+                     "--output", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["points"][0]["iterations"]
+
+    def test_unknown_target_rejected(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError, match="diagnose target"):
+            main(["diagnose", "not-a-target"])
+
+
+class TestPerfCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["perf"])
+        assert args.baseline_dir == "benchmarks/baselines"
+        assert args.tolerance == 0.25
+        assert not args.check
+
+    def test_trace_flag_on_experiment(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig5", "--quick", "--model-only",
+             "--trace"])
+        assert args.trace

@@ -1,0 +1,163 @@
+"""Tests for the perf-baseline suite and regression gate
+(:mod:`repro.experiments.perf`)."""
+
+import json
+
+import pytest
+
+from repro.experiments import cache as cache_mod
+from repro.experiments import perf as perf_mod
+from repro.experiments.perf import (BENCH_SCHEMA, BenchRecord,
+                                    compare_records, load_records,
+                                    run_suite, write_records)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("CARAT_CACHE_DIR", str(tmp_path / "cache"))
+    cache_mod.clear_memory()
+    yield
+    cache_mod.clear_memory()
+
+
+def _record(name="fig5", **overrides):
+    kwargs = dict(name=name, points=10, model_iterations=100,
+                  mva_inner_iterations=500, wall_ms_cold=1_000.0,
+                  wall_ms_warm=2.0, cache_hits=1, cache_misses=1,
+                  cache_hit_rate=0.5,
+                  iterations_by_n={"4": 40, "8": 60})
+    kwargs.update(overrides)
+    return BenchRecord(**kwargs)
+
+
+class TestBenchRecord:
+    def test_round_trip(self):
+        record = _record()
+        clone = BenchRecord.from_dict(record.to_dict())
+        assert clone == record
+        assert clone.schema == BENCH_SCHEMA
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = _record().to_dict()
+        data["added_in_a_future_schema"] = 42
+        assert BenchRecord.from_dict(data) == _record()
+
+
+class TestWriteLoad:
+    def test_round_trip(self, tmp_path):
+        records = [_record("fig5"), _record("tab3")]
+        paths = write_records(records, tmp_path)
+        assert [p.name for p in paths] == ["BENCH_fig5.json",
+                                          "BENCH_tab3.json"]
+        loaded = load_records(tmp_path)
+        assert loaded == {"fig5": records[0], "tab3": records[1]}
+
+    def test_wrong_schema_skipped(self, tmp_path):
+        data = _record().to_dict()
+        data["schema"] = BENCH_SCHEMA + 1
+        (tmp_path / "BENCH_fig5.json").write_text(json.dumps(data))
+        assert load_records(tmp_path) == {}
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert load_records(tmp_path / "nope") == {}
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        base = {"fig5": _record()}
+        current = {"fig5": _record(model_iterations=110,
+                                   wall_ms_cold=1_100.0)}
+        assert compare_records(current, base) == []
+
+    def test_counter_regression_detected(self):
+        base = {"fig5": _record()}
+        current = {"fig5": _record(model_iterations=200)}
+        problems = compare_records(current, base)
+        assert len(problems) == 1
+        assert "model_iterations" in problems[0]
+
+    def test_time_noise_floor_absorbs_jitter(self):
+        """A 1 ms warm blip is scheduler noise, not a regression."""
+        base = {"fig5": _record(wall_ms_warm=2.0)}
+        current = {"fig5": _record(wall_ms_warm=50.0)}
+        assert compare_records(current, base, tolerance=0.01) == []
+
+    def test_large_time_regression_detected(self):
+        base = {"fig5": _record(wall_ms_cold=1_000.0)}
+        current = {"fig5": _record(wall_ms_cold=2_000.0)}
+        problems = compare_records(current, base, tolerance=0.25)
+        assert any("wall_ms_cold" in p for p in problems)
+
+    def test_time_tolerance_separate_from_counters(self):
+        base = {"fig5": _record(wall_ms_cold=1_000.0)}
+        current = {"fig5": _record(wall_ms_cold=2_000.0)}
+        assert compare_records(current, base, tolerance=0.25,
+                               time_tolerance=1.5) == []
+
+    def test_missing_benchmark_is_regression(self):
+        problems = compare_records({}, {"fig5": _record()})
+        assert problems == ["fig5: benchmark missing from this run"]
+
+    def test_hit_rate_regression(self):
+        base = {"fig5": _record(cache_hit_rate=0.5)}
+        current = {"fig5": _record(cache_hit_rate=0.0)}
+        problems = compare_records(current, base)
+        assert any("cache_hit_rate" in p for p in problems)
+
+    def test_new_benchmark_ignored(self):
+        base = {"fig5": _record()}
+        current = {"fig5": _record(), "extra": _record("extra")}
+        assert compare_records(current, base) == []
+
+
+class TestRunSuite:
+    def test_fig5_record_populated(self, tmp_path):
+        records = run_suite(("fig5",), cache_dir=tmp_path, repeats=1)
+        assert len(records) == 1
+        record = records[0]
+        assert record.name == "fig5"
+        assert record.points > 0
+        assert record.model_iterations > 0
+        assert record.wall_ms_cold > 0.0
+        assert record.wall_ms_warm > 0.0
+        # Cold pass misses, warm pass hits: one of each per repetition.
+        assert record.cache_hits == record.cache_misses == 1
+        assert record.cache_hit_rate == pytest.approx(0.5)
+        assert record.iterations_by_n
+        assert sum(record.iterations_by_n.values()) == \
+            record.model_iterations
+
+
+class TestMain:
+    @pytest.fixture
+    def canned_suite(self, monkeypatch):
+        monkeypatch.setattr(perf_mod, "run_suite",
+                            lambda names, **kw: [_record()])
+
+    def test_update_then_check_passes(self, tmp_path, canned_suite,
+                                      capsys):
+        baseline_dir = str(tmp_path / "baselines")
+        assert perf_mod.main(["--update-baseline",
+                              "--baseline-dir", baseline_dir]) == 0
+        assert perf_mod.main(["--check",
+                              "--baseline-dir", baseline_dir]) == 0
+        assert "perf gate passed" in capsys.readouterr().out
+
+    def test_check_without_baseline_fails(self, tmp_path, canned_suite):
+        assert perf_mod.main(["--check", "--baseline-dir",
+                              str(tmp_path / "none")]) == 1
+
+    def test_output_dir_writes_records(self, tmp_path, canned_suite):
+        out = tmp_path / "out"
+        assert perf_mod.main(["--output-dir", str(out)]) == 0
+        assert (out / "BENCH_fig5.json").is_file()
+
+    def test_committed_baseline_matches_schema(self):
+        """The baseline shipped in-repo must load under the current
+        schema and cover the whole suite."""
+        from pathlib import Path
+        repo_root = Path(__file__).resolve().parents[2]
+        baseline = load_records(repo_root / "benchmarks" / "baselines")
+        assert set(baseline) == set(perf_mod.SUITE)
+        for record in baseline.values():
+            assert record.model_iterations > 0

@@ -6,7 +6,6 @@ from repro.errors import ConfigurationError
 from repro.model.demands import (abort_probability, aggregate_demands,
                                  build_phase_costs, ios_per_request,
                                  lock_count, mean_submissions)
-from repro.model.parameters import paper_sites
 from repro.model.phases import (ConflictProbabilities, transition_matrix,
                                 visit_counts)
 from repro.model.types import ChainType, Phase

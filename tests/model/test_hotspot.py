@@ -5,8 +5,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.model.solver import solve_model
 from repro.model.types import ChainType
-from repro.model.workload import WorkloadSpec, mb8
-from repro.model.parameters import paper_sites
+from repro.model.workload import mb8
 
 
 class TestHotspotSpec:

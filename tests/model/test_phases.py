@@ -28,13 +28,13 @@ class TestTransitionMatrix:
     def test_table1_tm_row(self):
         """p(TM->U) = n/C, p(TM->DM) = l/C, p(TM->RW) = r/C,
         p(TM->TC) = 1/C with C = 2n + 1 (paper §5.1)."""
-        l, r = 3, 2
-        n = l + r
+        loc, r = 3, 2
+        n = loc + r
         c = 2 * n + 1
-        m = transition_matrix(ChainType.DROC, l, r, 4.0)
+        m = transition_matrix(ChainType.DROC, loc, r, 4.0)
         tm = _index(Phase.TM)
         assert m[tm, _index(Phase.U)] == pytest.approx(n / c)
-        assert m[tm, _index(Phase.DM)] == pytest.approx(l / c)
+        assert m[tm, _index(Phase.DM)] == pytest.approx(loc / c)
         assert m[tm, _index(Phase.RW)] == pytest.approx(r / c)
         assert m[tm, _index(Phase.TC)] == pytest.approx(1 / c)
 
@@ -96,7 +96,7 @@ class TestTransitionMatrix:
 
 
 class TestVisitCounts:
-    @pytest.mark.parametrize("chain,l,r", [
+    @pytest.mark.parametrize("chain,loc,r", [
         (ChainType.LRO, 4, 0),
         (ChainType.LU, 8, 0),
         (ChainType.DROC, 4, 4),
@@ -104,12 +104,12 @@ class TestVisitCounts:
         (ChainType.DROS, 4, 0),
         (ChainType.DUS, 10, 0),
     ])
-    def test_no_conflict_closed_forms(self, chain, l, r):
+    def test_no_conflict_closed_forms(self, chain, loc, r):
         """Visit counts at zero conflict match paper §5.1 closed forms."""
         q = 3.8
-        m = transition_matrix(chain, l, r, q)
+        m = transition_matrix(chain, loc, r, q)
         v = visit_counts(m)
-        expected = expected_visits_no_conflict(chain, l, r, q)
+        expected = expected_visits_no_conflict(chain, loc, r, q)
         for phase in PHASE_ORDER:
             assert v[phase] == pytest.approx(expected[phase], abs=1e-9), \
                 phase

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.model.parameters import paper_sites
 from repro.model.solver import solve_model
 from repro.model.types import ChainType
 from repro.model.workload import mb8

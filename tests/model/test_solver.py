@@ -7,9 +7,8 @@ enough to exercise every workload and several transaction sizes.
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.model.parameters import paper_sites
 from repro.model.results import USER_CHAINS
-from repro.model.solver import CaratModel, ModelConfig, solve_model
+from repro.model.solver import ModelConfig, solve_model
 from repro.model.types import ChainType
 from repro.model.workload import lb8, mb4, mb8, ub6
 

@@ -4,7 +4,6 @@ configurations, not just the paper's four workloads."""
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import ConfigurationError
 from repro.model.parameters import paper_sites
 from repro.model.solver import solve_model
 from repro.model.types import BaseType

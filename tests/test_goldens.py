@@ -10,9 +10,7 @@ EXPERIMENTS.md stays truthful.
 
 import pytest
 
-from repro.model.parameters import paper_sites
 from repro.model.solver import solve_model
-from repro.model.types import ChainType
 from repro.model.workload import lb8, mb4, mb8, ub6
 
 # {(workload, n): {site: (xput, cpu, dio)}} — regenerate with

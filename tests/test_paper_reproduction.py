@@ -14,9 +14,8 @@ these tests pin the *shape* claims of EXPERIMENTS.md:
 import pytest
 
 from repro.experiments.catalog import (PAPER_TABLE3, PAPER_TABLE5)
-from repro.model.parameters import paper_sites
 from repro.model.solver import solve_model
-from repro.model.types import BaseType, ChainType
+from repro.model.types import ChainType
 from repro.model.workload import mb4, mb8
 
 

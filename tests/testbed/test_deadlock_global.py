@@ -6,7 +6,6 @@ site's local wait-for graph has a cycle, so only the probe detector can
 resolve it.
 """
 
-import pytest
 
 from repro.model.parameters import paper_sites
 from repro.testbed.deadlock import GlobalDetector

@@ -4,7 +4,7 @@ manager (hypothesis)."""
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.testbed.des import Simulator, Timeout, Wait
+from repro.testbed.des import Simulator, Timeout
 from repro.testbed.locks import LockManager, LockMode, \
     LockRequestOutcome
 from repro.testbed.resources import FcfsResource

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.testbed.des import Simulator, Timeout, Wait
+from repro.testbed.des import Simulator, Timeout
 from repro.testbed.resources import CountingPool, FcfsResource, Mailbox
 
 

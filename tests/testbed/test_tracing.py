@@ -3,10 +3,9 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.model.types import BaseType
 from repro.model.workload import mb4, mb8
 from repro.testbed.system import CaratSimulation, SimulationConfig
-from repro.testbed.tracing import TraceEvent, TraceEventKind, Tracer
+from repro.testbed.tracing import TraceEventKind, Tracer
 
 
 class TestTracerMechanics:

@@ -53,8 +53,6 @@ class TestVisitCounts:
         assert tm_dro == pytest.approx(2 * n, rel=0.05)
         r = workload.remote_requests(ChainType.DROC)
         # Slave messages for A-coordinated DRO land at B.
-        slave = metrics.events_per_commit("B", BaseType.DRO,
-                                          "slave_tm_msg")
         # Note: keyed by coordinator's commits at B... slave events at
         # B accumulate for *A*-homed transactions under base DRO with
         # site B; commits at B are B-homed.  Compare against raw
