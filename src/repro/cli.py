@@ -6,7 +6,11 @@ Subcommands
     Solve the analytical model for one workload and print the site
     measures.
 ``simulate``
-    Run the CARAT testbed simulator for one workload.
+    Run the CARAT testbed simulator for one workload, optionally with
+    event tracing (``--trace``).
+``compare``
+    Run model and simulator on the same workload and print the
+    residual report (docs/diagnostics.md).
 ``experiment``
     Reproduce one of the paper's tables/figures (model + simulator)
     and print the comparison table.
@@ -56,6 +60,44 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--duration-s", type=float, default=600.0,
                      help="measured simulated seconds")
     sim.add_argument("--warmup-s", type=float, default=60.0)
+    sim.add_argument("--trace", action="store_true",
+                     help="record lifecycle events and dump them after "
+                          "the run (docs/diagnostics.md)")
+    sim.add_argument("--trace-limit", type=int, default=50,
+                     help="events shown on stdout (most recent first "
+                          "dropped; files always get every retained "
+                          "event)")
+    sim.add_argument("--trace-txn", default=None, metavar="SUBSTRING",
+                     help="only events whose transaction id contains "
+                          "SUBSTRING")
+    sim.add_argument("--trace-site", default=None,
+                     help="only events at one site")
+    sim.add_argument("--trace-file", default=None,
+                     help="write the filtered trace to a file instead "
+                          "of stdout")
+    sim.add_argument("--trace-format", choices=["text", "jsonl"],
+                     default="text")
+
+    compare = sub.add_parser(
+        "compare",
+        help="run model + simulator and print the residual report "
+             "(docs/diagnostics.md)")
+    _workload_args(compare)
+    compare.add_argument("--seed", type=int, default=7)
+    compare.add_argument("--duration-s", type=float, default=600.0,
+                         help="measured simulated seconds")
+    compare.add_argument("--warmup-s", type=float, default=60.0)
+    compare.add_argument("--quick", action="store_true",
+                         help="short window (60s measured; noisier "
+                              "residuals)")
+    compare.add_argument("--max-residual", type=float, default=None,
+                         metavar="FRACTION",
+                         help="exit 1 when any comparable |residual| "
+                              "exceeds FRACTION (e.g. 0.3 = 30%%)")
+    compare.add_argument("--json", action="store_true",
+                         help="emit the full report as JSON")
+    compare.add_argument("--output", default="-",
+                         help="file path or '-' for stdout")
 
     exp = sub.add_parser("experiment",
                          help="reproduce tables/figures of the paper")
@@ -202,10 +244,15 @@ def _cmd_model(args) -> int:
 
 def _cmd_simulate(args) -> int:
     workload = STANDARD_WORKLOADS[args.workload](args.requests)
+    tracer = None
+    if args.trace:
+        from repro.testbed.tracing import Tracer
+        tracer = Tracer()
     measurement = simulate(
         workload, paper_sites(), seed=args.seed,
         warmup_ms=args.warmup_s * 1e3,
-        duration_ms=args.duration_s * 1e3)
+        duration_ms=args.duration_s * 1e3,
+        tracer=tracer)
     print(f"workload {workload.name}, n={args.requests}, "
           f"seed={args.seed}")
     for name, site in sorted(measurement.sites.items()):
@@ -215,6 +262,52 @@ def _cmd_simulate(args) -> int:
               f"Total-DIO={site.dio_rate_per_s:.1f}/s "
               f"aborts={aborts} "
               f"deadlocks={site.local_deadlocks}L+{site.global_deadlocks}G")
+    if tracer is not None:
+        _dump_trace(tracer, args)
+    return 0
+
+
+def _dump_trace(tracer, args) -> None:
+    """Render the run's trace per the --trace-* flags."""
+    events = tracer.events(site=args.trace_site)
+    if args.trace_txn is not None:
+        events = [e for e in events if args.trace_txn in e.txn]
+    render = (tracer.to_jsonl if args.trace_format == "jsonl"
+              else tracer.dump)
+    if args.trace_file:
+        with open(args.trace_file, "w", encoding="utf-8") as handle:
+            handle.write(render(events) + "\n")
+        print(f"trace: {tracer.recorded} events recorded "
+              f"({tracer.dropped} dropped), {len(events)} matched, "
+              f"wrote {args.trace_file}")
+        return
+    shown = events[-args.trace_limit:] if args.trace_limit > 0 else events
+    print(f"trace: {tracer.recorded} events recorded "
+          f"({tracer.dropped} dropped), {len(events)} matched, "
+          f"showing {len(shown)}")
+    if shown:
+        print(render(shown))
+
+
+def _cmd_compare(args) -> int:
+    from repro.experiments.compare import (compare_workload,
+                                           flagged_rows, render_json,
+                                           render_table)
+    report = compare_workload(
+        args.workload, requests=args.requests, seed=args.seed,
+        duration_ms=args.duration_s * 1e3,
+        warmup_ms=args.warmup_s * 1e3, quick=args.quick)
+    text = (render_json(report) if args.json
+            else render_table(report, max_residual=args.max_residual))
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    if args.max_residual is not None \
+            and flagged_rows(report, args.max_residual):
+        return 1
     return 0
 
 
@@ -362,6 +455,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "model": _cmd_model,
         "simulate": _cmd_simulate,
+        "compare": _cmd_compare,
         "experiment": _cmd_experiment,
         "diagnose": _cmd_diagnose,
         "perf": _cmd_perf,

@@ -27,6 +27,8 @@ from repro.testbed.replication import (Estimate, ReplicatedMeasurement,
 from repro.testbed.storage import BlockStorage
 from repro.testbed.system import (CaratSimulation, OpenCaratSimulation,
                                   SimulationConfig, simulate)
+from repro.testbed.telemetry import (Telemetry, TimeSeriesSample,
+                                     TransactionSpans)
 from repro.testbed.tracing import TraceEvent, TraceEventKind, Tracer
 from repro.testbed.wal import (Journal, LogRecord, RecordType,
                                RecoveryReport, recover)
@@ -44,6 +46,7 @@ __all__ = [
     "AccessRecord", "CommittedTransaction", "SerializabilityReport",
     "check_serializable", "conflict_graph",
     "Tracer", "TraceEvent", "TraceEventKind",
+    "Telemetry", "TransactionSpans", "TimeSeriesSample",
     "Estimate", "ReplicatedMeasurement", "run_replications",
     "BatchMeansResult", "batch_means", "lag1_autocorrelation",
 ]

@@ -20,7 +20,7 @@ import random
 import zlib
 from typing import TYPE_CHECKING, Generator
 
-from repro.model.types import BaseType
+from repro.model.types import BaseType, Phase
 from repro.testbed.des import Fork, Timeout, Wait
 from repro.testbed.locks import LockRequestOutcome
 from repro.testbed.node import CaratNode
@@ -30,6 +30,7 @@ from repro.testbed.wal import RecordType
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.testbed.system import CaratSimulation
+    from repro.testbed.telemetry import SpanClock
 
 __all__ = ["UserProcess"]
 
@@ -74,18 +75,38 @@ class UserProcess:
         workload = self.system.workload
         think = workload.think_time_ms
         cycle_start = self.sim.now
+        telemetry = self.system.telemetry
+        clock = (telemetry.start_cycle(self.home, self.base, cycle_start)
+                 if telemetry is not None else None)
         while True:
-            committed = yield from self._attempt()
+            committed = yield from self._attempt(clock)
             if committed:
                 break
             self.system.metrics.abort(self.home, self.base)
             if think > 0:
+                self._mark(clock, self.home, Phase.UT)
                 yield Timeout(self._think(think))
+        if clock is not None:
+            clock.close(self.sim.now,
+                        collecting=self.system.metrics.collecting)
         records = (workload.requests_per_txn
                    * workload.records_per_request)
         self.system.metrics.commit(
             self.home, self.base,
             self.sim.now - cycle_start, records)
+
+    def _mark(self, clock: "SpanClock | None", site: str,
+              phase: Phase) -> None:
+        """Record a phase transition on the main driver timeline.
+
+        No-op when telemetry is detached (``clock`` is None) and for
+        forked branches, which run on their own timelines and are
+        always given a None clock — their duration is observed by the
+        coordinator as CWC/RW wait, matching the model's delay-center
+        view of 2PC and overlapped remote work.
+        """
+        if clock is not None:
+            clock.mark(self.sim.now, site, phase)
 
     def _think(self, mean_ms: float) -> float:
         """Exponential think time (memoryless terminal)."""
@@ -95,39 +116,46 @@ class UserProcess:
     # one execution attempt
     # ------------------------------------------------------------------
 
-    def _attempt(self) -> Generator:
+    def _attempt(self, clock: "SpanClock | None" = None) -> Generator:
         """Run one submission; returns True on commit, False on abort."""
         txn = self._begin()
+        if clock is not None:
+            clock.txn_id = txn.txn_id
+            clock.attempts += 1
+            clock.mark(self.sim.now, self.home, Phase.INIT)
         home = self.system.nodes[self.home]
         try:
             yield from self._init_phase(txn, home)
             plan = self._request_plan()
             if self.system.config.parallel_remote:
                 outcome = yield from self._run_plan_parallel(txn, home,
-                                                             plan)
+                                                             plan, clock)
             else:
                 outcome = yield from self._run_plan_serial(txn, home,
-                                                           plan)
+                                                           plan, clock)
             if outcome is not None:       # abort trigger site name
-                yield from self._rollback(txn, outcome)
+                yield from self._rollback(txn, outcome, clock)
                 return False
-            yield from self._commit(txn, home)
+            yield from self._commit(txn, home, clock)
             self._record_history(txn)
             return True
         finally:
             self._end(txn)
 
     def _run_plan_serial(self, txn: Transaction, home: CaratNode,
-                         plan: list[str]) -> Generator:
+                         plan: list[str],
+                         clock: "SpanClock | None" = None) -> Generator:
         """CARAT semantics: one active request at a time."""
         for kind in plan:
-            outcome = yield from self._one_request(txn, home, kind)
+            outcome = yield from self._one_request(txn, home, kind,
+                                                   clock)
             if outcome is not None:
                 return outcome
         return None
 
     def _run_plan_parallel(self, txn: Transaction, home: CaratNode,
-                           plan: list[str]) -> Generator:
+                           plan: list[str],
+                           clock: "SpanClock | None" = None) -> Generator:
         """§7 extension: the remote request stream runs as one forked
         branch, overlapping the coordinator's local requests; the two
         streams join before commit.
@@ -136,6 +164,9 @@ class UserProcess:
         slave site has exactly one DM server per transaction, so two
         outstanding requests at a slave are physically impossible —
         but they no longer serialize with the local work.
+
+        The forked branch runs on its own timeline, so it gets no span
+        clock; the coordinator's join wait is attributed to RW.
         """
         remotes = [kind for kind in plan if kind == "remote"]
         locals_ = [kind for kind in plan if kind == "local"]
@@ -143,8 +174,10 @@ class UserProcess:
         if remotes:
             branch = yield Fork(
                 self._run_plan_serial(txn, home, remotes))
-        outcome = yield from self._run_plan_serial(txn, home, locals_)
+        outcome = yield from self._run_plan_serial(txn, home, locals_,
+                                                   clock)
         if branch is not None:
+            self._mark(clock, self.home, Phase.RW)
             remote_outcome = yield Wait(branch.completion)
             if outcome is None:
                 outcome = remote_outcome
@@ -233,29 +266,40 @@ class UserProcess:
                 yield Timeout(self.system.alpha_ms)
 
     def _one_request(self, txn: Transaction, home: CaratNode,
-                     kind: str) -> Generator:
+                     kind: str,
+                     clock: "SpanClock | None" = None) -> Generator:
         """One TDO request; returns None or the abort-trigger site."""
         costs = home.params.costs_for(self._home_chain())
         metrics = self.system.metrics
         # U phase: the user process prepares the request.
+        self._mark(clock, self.home, Phase.U)
         yield from home.use_cpu(costs.u_cpu)
         # TM dispatch (TDO -> DOSTEP or REMDO).
+        self._mark(clock, self.home, Phase.TM)
         yield from home.tm_message(costs.tm_cpu)
         metrics.event(self.home, self.base, "tm_msg")
         if kind == "local":
-            outcome = yield from self._dm_request(txn, home)
+            outcome = yield from self._dm_request(txn, home, clock)
         else:
             target_name = self.rng.choice(txn.sites[1:])
             target = self.system.nodes[target_name]
             remote_costs = target.params.costs_for(self._home_chain())
+            # Network latency is RW at home; the inline processing at
+            # the target is attributed to the target's own phases (the
+            # model's slave-chain work).
+            self._mark(clock, self.home, Phase.RW)
             yield Timeout(self.system.alpha_ms)
+            self._mark(clock, target_name, Phase.TM)
             yield from target.tm_message(remote_costs.tm_cpu)
             metrics.event(target_name, self.base, "slave_tm_msg")
-            outcome = yield from self._dm_request(txn, target)
+            outcome = yield from self._dm_request(txn, target, clock)
+            self._mark(clock, target_name, Phase.TM)
             yield from target.tm_message(remote_costs.tm_cpu)
             metrics.event(target_name, self.base, "slave_tm_msg")
+            self._mark(clock, self.home, Phase.RW)
             yield Timeout(self.system.alpha_ms)
         # TM response processing (DOSTEP_K / REMDO_K).
+        self._mark(clock, self.home, Phase.TM)
         yield from home.tm_message(costs.tm_cpu)
         metrics.event(self.home, self.base, "tm_msg")
         return outcome
@@ -268,8 +312,8 @@ class UserProcess:
             BaseType.DRO: ChainType.DROC, BaseType.DU: ChainType.DUC,
         }[self.base]
 
-    def _dm_request(self, txn: Transaction,
-                    node: CaratNode) -> Generator:
+    def _dm_request(self, txn: Transaction, node: CaratNode,
+                    clock: "SpanClock | None" = None) -> Generator:
         """DM server executes one request at *node*; returns None on
         success or the node name on deadlock abort."""
         workload = self.system.workload
@@ -279,18 +323,22 @@ class UserProcess:
         for record in records:
             granule = node.storage.granule_of(record)
             # DM processing between lock requests.
+            self._mark(clock, node.name, Phase.DM)
             yield from node.use_cpu(costs.dm_cpu)
             if granule in state.held:
                 continue
-            outcome = yield from self._acquire_lock(txn, node, granule)
+            outcome = yield from self._acquire_lock(txn, node, granule,
+                                                    clock)
             if outcome is not None:
                 return outcome
             state.held.add(granule)
+            self._mark(clock, node.name, Phase.DMIO)
             yield from node.use_cpu(costs.dmio_cpu)
             self.system.metrics.event(node.name, self.base,
                                       "granule_access")
             yield from self._granule_io(txn, node, granule)
         # Final DM processing before the response message.
+        self._mark(clock, node.name, Phase.DM)
         yield from node.use_cpu(costs.dm_cpu)
         return None
 
@@ -311,9 +359,11 @@ class UserProcess:
         return list(picked)
 
     def _acquire_lock(self, txn: Transaction, node: CaratNode,
-                      granule: int) -> Generator:
+                      granule: int,
+                      clock: "SpanClock | None" = None) -> Generator:
         """LR phase: lock request, possible LW wait, deadlock handling."""
         costs = node.params.costs_for(self._home_chain())
+        self._mark(clock, node.name, Phase.LR)
         yield from node.use_cpu(costs.lr_cpu)
         self.system.metrics.event(node.name, self.base, "lock_request")
         wait = self.sim.event()
@@ -331,6 +381,7 @@ class UserProcess:
             return node.name
         # Blocked: register for remote aborts and start a prober.
         node.metrics.lock_wait(node.name)
+        self._mark(clock, node.name, Phase.LW)
         self.system.trace(TraceEventKind.LOCK_WAIT, txn.txn_id,
                           node.name, detail=f"granule={granule}")
         node.lock_wait_events[txn.txn_id] = wait
@@ -379,51 +430,64 @@ class UserProcess:
     # commit
     # ------------------------------------------------------------------
 
-    def _commit(self, txn: Transaction, home: CaratNode) -> Generator:
+    def _commit(self, txn: Transaction, home: CaratNode,
+                clock: "SpanClock | None" = None) -> Generator:
         """TEND: local commit or centralized two-phase commit."""
         protocol = home.params.protocol
         costs = home.params.costs_for(self._home_chain())
         # The user prepares the TEND message (last U-phase visit).
+        self._mark(clock, self.home, Phase.U)
         yield from home.use_cpu(costs.u_cpu)
         if not txn.is_distributed:
             home.journal.append(RecordType.COMMIT, txn.txn_id)
             force = (protocol.coordinator_commit_ios
                      if self.base.is_update
                      else protocol.readonly_commit_ios)
+            self._mark(clock, self.home, Phase.TC)
             yield from home.tm_message(protocol.commit_cpu + costs.tm_cpu,
-                                       force_ios=force)
+                                       force_ios=force, clock=clock)
+            self._mark(clock, self.home, Phase.UL)
             yield from self._release_site(txn, home)
             return
 
         # --- centralized 2PC (paper §2, [GRAY79]) ---
+        self._mark(clock, self.home, Phase.TC)
         yield from home.tm_message(protocol.commit_cpu + costs.tm_cpu)
         slaves = [self.system.nodes[s] for s in txn.sites[1:]]
         # Round 1: PREPARE, in parallel.
         yield from self._parallel_round(txn, home,
                                         [self._prepare_at(txn, s)
-                                         for s in slaves])
+                                         for s in slaves], clock)
         # Coordinator decision: force the commit record.
         home.journal.append(RecordType.COMMIT, txn.txn_id)
         force = (protocol.coordinator_commit_ios if self.base.is_update
                  else protocol.readonly_commit_ios)
-        yield from home.tm_message(0.0, force_ios=force)
+        self._mark(clock, self.home, Phase.TC)
+        yield from home.tm_message(0.0, force_ios=force, clock=clock)
         # Round 2: COMMIT, in parallel.
         yield from self._parallel_round(txn, home,
                                         [self._commit_at(txn, s)
-                                         for s in slaves])
+                                         for s in slaves], clock)
+        self._mark(clock, self.home, Phase.UL)
         yield from self._release_site(txn, home)
 
     def _parallel_round(self, txn: Transaction, home: CaratNode,
-                        branches: list[Generator]) -> Generator:
+                        branches: list[Generator],
+                        clock: "SpanClock | None" = None) -> Generator:
         """Run one 2PC round: branches in parallel, then one ack
-        processed at the coordinator TM per slave."""
+        processed at the coordinator TM per slave.
+
+        Branches are forked (own timelines, no clock); the coordinator
+        observes them as CWC — the model's 2PC commit-wait center."""
         costs = home.params.costs_for(self._home_chain())
         processes = []
         for branch in branches:
             process = yield Fork(branch)
             processes.append(process)
         for process in processes:
+            self._mark(clock, self.home, Phase.CWC)
             yield Wait(process.completion)
+            self._mark(clock, self.home, Phase.TC)
             yield from home.tm_message(costs.tm_cpu)
 
     def _prepare_at(self, txn: Transaction,
@@ -472,7 +536,8 @@ class UserProcess:
     # abort / rollback
     # ------------------------------------------------------------------
 
-    def _rollback(self, txn: Transaction, trigger_site: str) -> Generator:
+    def _rollback(self, txn: Transaction, trigger_site: str,
+                  clock: "SpanClock | None" = None) -> Generator:
         """TA/TAIO phases: undo updates and release locks everywhere."""
         txn.aborted = True
         self.system.trace(TraceEventKind.ABORT, txn.txn_id,
@@ -480,6 +545,7 @@ class UserProcess:
         for site in txn.touched_sites():
             node = self.system.nodes[site]
             protocol = node.params.protocol
+            self._mark(clock, node.name, Phase.TA)
             if site != txn.home:
                 yield Timeout(self.system.alpha_ms)
             yield from node.tm_message(protocol.abort_message_cpu)
@@ -490,7 +556,9 @@ class UserProcess:
                     protocol.undo_cpu_per_granule * undo)
                 for granule, image in state.before_images.items():
                     node.storage.write_block(granule, image, flush=True)
+                self._mark(clock, node.name, Phase.TAIO)
                 yield from node.disk_write(
                     protocol.undo_ios_per_granule * undo)
                 node.journal.append(RecordType.ABORT, txn.txn_id)
+            self._mark(clock, node.name, Phase.UL)
             yield from self._release_site(txn, node)

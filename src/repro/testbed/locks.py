@@ -227,6 +227,14 @@ class LockManager:
         """Transactions currently blocked at this site."""
         return list(self._waiting_for)
 
+    def waiting_count(self) -> int:
+        """Number of transactions blocked at this site right now."""
+        return len(self._waiting_for)
+
     def lock_count(self) -> int:
         """Number of granules with at least one holder or waiter."""
         return len(self._locks)
+
+    def held_count(self) -> int:
+        """Total (transaction, granule) holds in the lock table."""
+        return sum(len(lock.holders) for lock in self._locks.values())

@@ -122,6 +122,11 @@ class SiteMeasurement:
     local_deadlocks: int
     global_deadlocks: int
     lock_waits: int
+    #: observed visit counts per commit, by event name (e.g. "tm_msg",
+    #: "lock_request", "granule_access") — comparable with the model's
+    #: ``N_s * V_c`` visit ratios; empty for types that never committed
+    events_per_commit_by_name: dict[BaseType, dict[str, float]] = \
+        field(default_factory=dict)
 
     @property
     def elapsed_s(self) -> float:

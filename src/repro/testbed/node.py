@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.model.parameters import SiteParameters
+from repro.model.types import Phase
 from repro.testbed.des import Simulator
 from repro.testbed.locks import LockManager
 from repro.testbed.metrics import Metrics
@@ -75,17 +76,24 @@ class CaratNode:
             self.metrics.disk_io(self.name)
             self.journal.force()
 
-    def tm_message(self, cpu_ms: float, force_ios: int = 0) -> Generator:
+    def tm_message(self, cpu_ms: float, force_ios: int = 0,
+                   clock=None) -> Generator:
         """Process one message inside the TM critical section.
 
         The TM server is single-threaded: it holds the TM token for the
         CPU burst and any synchronous log force-writes, serializing all
         other messages behind it.
+
+        When a telemetry span *clock* is attached the synchronous log
+        forces are attributed to the TCIO phase (the caller's mark —
+        typically TC — covers the CPU burst and any TM-token queueing).
         """
         yield from self.tm.acquire()
         try:
             yield from self.cpu.use(cpu_ms)
             if force_ios:
+                if clock is not None:
+                    clock.mark(self.sim.now, self.name, Phase.TCIO)
                 yield from self.log_force(force_ios)
         finally:
             self.tm.release()

@@ -89,16 +89,22 @@ class FcfsResource:
             self._busy = False
             self.busy_time += self.sim.now - self._busy_since
 
+    def cumulative_busy_ms(self) -> float:
+        """Busy time since the last stats reset, including the
+        in-progress service period (telemetry probes diff successive
+        readings for windowed utilizations)."""
+        busy = self.busy_time
+        if self._busy:
+            busy += self.sim.now - self._busy_since
+        return busy
+
     def utilization(self, elapsed: float | None = None) -> float:
         """Fraction of time busy since the last stats reset."""
         if elapsed is None:
             elapsed = self.sim.now - self._stats_start
         if elapsed <= 0:
             return 0.0
-        busy = self.busy_time
-        if self._busy:
-            busy += self.sim.now - self._busy_since
-        return busy / elapsed
+        return self.cumulative_busy_ms() / elapsed
 
     @property
     def queue_length(self) -> int:
@@ -152,6 +158,11 @@ class CountingPool:
     def available(self) -> int:
         """Free servers right now."""
         return self.size - self._in_use
+
+    @property
+    def in_use(self) -> int:
+        """Servers currently allocated."""
+        return self._in_use
 
 
 class Mailbox:

@@ -62,6 +62,10 @@ class SimulationConfig:
     parallel_remote: bool = False
     #: optional event tracer (see :mod:`repro.testbed.tracing`)
     tracer: object | None = None
+    #: optional telemetry collector (see
+    #: :mod:`repro.testbed.telemetry`); when None every hook is a
+    #: no-op and the RNG stream is untouched
+    telemetry: object | None = None
 
     def __post_init__(self) -> None:
         missing = [s for s in self.workload.sites if s not in self.sites]
@@ -78,6 +82,7 @@ class CaratSimulation:
         self.config = config
         self.workload = config.workload
         self.alpha_ms = config.alpha_ms
+        self.telemetry = config.telemetry
         self.sim = Simulator()
         self.metrics = Metrics()
         self.registry: dict[str, Transaction] = {}
@@ -131,6 +136,7 @@ class CaratSimulation:
                                             f"{user.base.value}"
                                             f"{user.user_index}")
         self.sim.spawn(self._warmup_marker(), name="warmup")
+        self._spawn_probe()
         horizon = self.config.warmup_ms + self.config.duration_ms
         self.sim.run(until=horizon)
         return self._collect()
@@ -141,6 +147,26 @@ class CaratSimulation:
         for node in self.nodes.values():
             node.reset_stats()
 
+    def _spawn_probe(self) -> None:
+        """Start the telemetry sampling process, if requested.
+
+        The probe only *reads* simulator state (queue lengths,
+        cumulative busy times, lock-table and journal counters) and
+        draws no random numbers, so attaching it cannot perturb the
+        simulated behaviour — measurements stay bit-identical with or
+        without telemetry.
+        """
+        tele = self.telemetry
+        if tele is None or not getattr(tele, "record_timeseries", False):
+            return
+
+        def probe():
+            while True:
+                tele.sample(self)
+                yield Timeout(tele.sample_interval_ms)
+
+        self.sim.spawn(probe(), name="telemetry-probe")
+
     def _collect(self) -> SimulationMeasurement:
         elapsed = self.sim.now - self.metrics.window_start
         sites: dict[str, SiteMeasurement] = {}
@@ -150,6 +176,7 @@ class CaratSimulation:
             responses = {}
             samples = {}
             records = {}
+            visits = {}
             for base in BaseType:
                 key = (name, base)
                 commits[base] = self.metrics.commits.get(key, 0)
@@ -160,6 +187,13 @@ class CaratSimulation:
                 samples[base] = list(
                     self.metrics.response_samples.get(key, []))
                 records[base] = self.metrics.records_sum.get(key, 0.0)
+                event_names = sorted(
+                    n for (s, b, n) in self.metrics.events
+                    if s == name and b is base)
+                if event_names and commits[base]:
+                    visits[base] = {
+                        n: self.metrics.events_per_commit(name, base, n)
+                        for n in event_names}
             sites[name] = SiteMeasurement(
                 site=name,
                 elapsed_ms=elapsed,
@@ -177,6 +211,7 @@ class CaratSimulation:
                 local_deadlocks=self.metrics.deadlocks_local.get(name, 0),
                 global_deadlocks=self.metrics.deadlocks_global.get(name, 0),
                 lock_waits=self.metrics.lock_waits.get(name, 0),
+                events_per_commit_by_name=visits,
             )
         return SimulationMeasurement(
             workload_name=self.workload.name,
@@ -240,6 +275,7 @@ class OpenCaratSimulation(CaratSimulation):
                     self.sim.spawn(source(site, base, rate / 1e3),
                                    name=f"src-{site}-{base.value}")
         self.sim.spawn(self._warmup_marker(), name="warmup")
+        self._spawn_probe()
         horizon = self.config.warmup_ms + self.config.duration_ms
         self.sim.run(until=horizon)
         return self._collect()

@@ -11,9 +11,10 @@ Tracing is optional; when no tracer is attached the hooks are no-ops.
 from __future__ import annotations
 
 import enum
+import json
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.errors import ConfigurationError
 
@@ -50,6 +51,20 @@ class TraceEvent:
         return (f"{self.time / 1e3:10.3f}s {self.site:>3} "
                 f"{self.kind.value:<16} {self.txn}{extra}")
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form, sharing the ``time``/``kind``/
+        ``site`` keys with the telemetry exports so traces and probe
+        data can be merged and sorted together."""
+        out: dict[str, Any] = {
+            "time": self.time,
+            "kind": self.kind.value,
+            "txn": self.txn,
+            "site": self.site,
+        }
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
 
 class Tracer:
     """Bounded in-memory event trace."""
@@ -76,8 +91,11 @@ class Tracer:
 
     def events(self, txn: str | None = None,
                kind: TraceEventKind | None = None,
-               site: str | None = None) -> list[TraceEvent]:
-        """Events filtered by any combination of txn/kind/site."""
+               site: str | None = None,
+               since: float | None = None,
+               until: float | None = None) -> list[TraceEvent]:
+        """Events filtered by any combination of txn/kind/site and an
+        inclusive ``[since, until]`` time window."""
         out = []
         for event in self._events:
             if txn is not None and event.txn != txn:
@@ -85,6 +103,10 @@ class Tracer:
             if kind is not None and event.kind is not kind:
                 continue
             if site is not None and event.site != site:
+                continue
+            if since is not None and event.time < since:
+                continue
+            if until is not None and event.time > until:
                 continue
             out.append(event)
         return out
@@ -103,3 +125,9 @@ class Tracer:
         """Render events (default: everything) as text."""
         events = self._events if events is None else events
         return "\n".join(event.format() for event in events)
+
+    def to_jsonl(self, events: Iterable[TraceEvent] | None = None) -> str:
+        """Render events (default: everything) as JSONL, one object
+        per line."""
+        events = self._events if events is None else events
+        return "\n".join(json.dumps(event.to_dict()) for event in events)

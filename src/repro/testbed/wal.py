@@ -77,6 +77,13 @@ class Journal:
         """The crash-surviving prefix."""
         return self._records[: self._durable_upto]
 
+    @property
+    def backlog(self) -> int:
+        """Volatile-tail length: records appended but not yet forced
+        (what a crash right now would lose; telemetry probes sample
+        this as the WAL backlog)."""
+        return len(self._records) - self._durable_upto
+
     def append(self, kind: RecordType, txn: str,
                granule: int | None = None,
                image: tuple[int, ...] | None = None) -> LogRecord:

@@ -47,6 +47,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Total-DIO" in out
 
+    def test_simulate_trace_to_stdout(self, capsys):
+        assert main(["simulate", "--workload", "MB4", "-n", "4",
+                     "--duration-s", "20", "--warmup-s", "2",
+                     "--trace", "--trace-limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "events recorded" in out and "showing 5" in out
+        assert "begin" in out or "commit" in out
+
+    def test_simulate_trace_filters_and_file(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["simulate", "--workload", "MB4", "-n", "4",
+                     "--duration-s", "20", "--warmup-s", "2",
+                     "--trace", "--trace-site", "B",
+                     "--trace-txn", "DU",
+                     "--trace-format", "jsonl",
+                     "--trace-file", str(trace)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        for line in trace.read_text().splitlines():
+            record = json.loads(line)
+            assert record["site"] == "B"
+            assert "DU" in record["txn"]
+
     def test_experiment_model_only(self, capsys):
         assert main(["experiment", "tab5", "--model-only"]) == 0
         out = capsys.readouterr().out

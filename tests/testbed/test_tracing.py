@@ -1,5 +1,7 @@
 """Tests for the event tracer and its simulator integration."""
 
+import json
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -39,6 +41,31 @@ class TestTracerMechanics:
     def test_capacity_validated(self):
         with pytest.raises(ConfigurationError):
             Tracer(capacity=0)
+
+    def test_time_window_filtering(self):
+        tracer = Tracer()
+        for i in range(10):
+            tracer.record(float(i), TraceEventKind.BEGIN, f"t{i}", "A")
+        assert len(tracer.events(since=3.0)) == 7
+        assert len(tracer.events(until=3.0)) == 4
+        window = tracer.events(since=2.0, until=5.0)
+        assert [e.txn for e in window] == ["t2", "t3", "t4", "t5"]
+        assert len(tracer.events(txn="t4", since=2.0, until=5.0)) == 1
+        assert not tracer.events(txn="t9", until=5.0)
+
+    def test_to_jsonl(self):
+        tracer = Tracer()
+        tracer.record(1.0, TraceEventKind.BEGIN, "t1", "A")
+        tracer.record(2.0, TraceEventKind.LOCK_WAIT, "t1", "B",
+                      "granule=5")
+        records = [json.loads(line)
+                   for line in tracer.to_jsonl().splitlines()]
+        assert records[0] == {"time": 1.0, "kind": "begin",
+                              "txn": "t1", "site": "A"}
+        assert records[1]["detail"] == "granule=5"
+        # An explicit event list (e.g. a filtered window) renders too.
+        subset = tracer.to_jsonl(tracer.events(site="B"))
+        assert json.loads(subset)["site"] == "B"
 
 
 class TestSimulatorIntegration:
