@@ -21,8 +21,13 @@ Subcommands
 ``perf``
     Run the perf-baseline suite, emit ``BENCH_*.json`` records, and
     optionally gate against a committed baseline (docs/diagnostics.md).
+``plan``
+    Capacity planner: search the throughput-optimal MPL, check SLOs
+    and evaluate hardware what-ifs over the analytic model
+    (docs/planner.md).
 ``list``
-    List the available experiments and workloads.
+    List the available experiments and workloads, with the
+    operational-bounds pre-screen per workload.
 """
 
 from __future__ import annotations
@@ -108,6 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="short simulation window (smoke test)")
     exp.add_argument("--model-only", action="store_true",
                      help="skip the simulator")
+    exp.add_argument("--bounds", action="store_true",
+                     help="append operational-bounds columns (X-ub, "
+                          "N-sat) to summary tables (docs/planner.md)")
     _sweep_args(exp)
 
     report = sub.add_parser(
@@ -188,6 +196,45 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--model-only", action="store_true")
     export.add_argument("--quick", action="store_true")
     _sweep_args(export)
+
+    plan = sub.add_parser(
+        "plan",
+        help="capacity plan: optimal MPL, thrashing knee, SLO "
+             "verdicts, bottlenecks and what-ifs (docs/planner.md)")
+    plan.add_argument("--workload", type=str.upper,
+                      choices=sorted(STANDARD_WORKLOADS),
+                      default="MB8",
+                      help="workload mix (case-insensitive)")
+    plan.add_argument("-n", "--requests", type=int, default=8,
+                      help="requests per transaction (paper: 4..20)")
+    plan.add_argument("--mpl-max", type=int, default=24,
+                      help="per-site MPL search ceiling")
+    plan.add_argument("--slo-response", type=float, default=None,
+                      metavar="SECONDS",
+                      help="mean commit-cycle response-time target")
+    plan.add_argument("--slo-abort", type=float, default=None,
+                      metavar="FRACTION",
+                      help="mean per-execution abort-probability "
+                           "target")
+    plan.add_argument("--whatif", action="append", default=None,
+                      metavar="KIND[=FACTOR]",
+                      help="candidate to evaluate (cpu, disk, "
+                           "granules, log-split; repeatable); "
+                           "'standard' expands the default menu")
+    plan.add_argument("--tolerance", type=float, default=1e-4,
+                      help="solver convergence tolerance per point")
+    plan.add_argument("--max-iterations", type=int, default=600,
+                      help="solver iteration budget per point")
+    plan.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for the what-if fan-out "
+                           "(docs/parallel.md); 0 means one per CPU")
+    plan.add_argument("--cached", action="store_true",
+                      help="memoize solves in the on-disk result "
+                           "cache ($CARAT_CACHE_DIR)")
+    plan.add_argument("--json", action="store_true",
+                      help="emit the plan as JSON")
+    plan.add_argument("--output", default="-",
+                      help="file path or '-' for stdout")
 
     sub.add_parser("list", help="list experiments and workloads")
     return parser
@@ -333,7 +380,7 @@ def _cmd_experiment(args) -> int:
                                    spec.title).text)
                 print()
         else:
-            print(render_summary_table(result))
+            print(render_summary_table(result, bounds=args.bounds))
         if args.trace:
             _print_trace_summaries(result)
     return 0
@@ -441,11 +488,64 @@ def _cmd_sensitivity(args) -> int:
     return 0
 
 
+def _parse_whatif(values: list[str] | None):
+    """Translate ``--whatif`` tokens into candidates."""
+    from repro.planner import WhatIfCandidate, standard_candidates
+    if not values:
+        return ()
+    kinds = {"cpu": "cpu_speed", "disk": "disk_speed",
+             "granules": "granules", "log-split": "log_split",
+             "log_split": "log_split"}
+    candidates = []
+    for token in values:
+        if token == "standard":
+            candidates.extend(standard_candidates())
+            continue
+        name, _, factor = token.partition("=")
+        if name not in kinds:
+            raise SystemExit(
+                f"unknown --whatif {token!r}; expected one of "
+                f"{sorted(kinds)} or 'standard'")
+        candidates.append(WhatIfCandidate(
+            kind=kinds[name], factor=float(factor) if factor else 2.0))
+    return tuple(candidates)
+
+
+def _cmd_plan(args) -> int:
+    from repro.planner import (PlanSpec, SloSpec, plan,
+                               render_plan_json, render_plan_text)
+    workload = STANDARD_WORKLOADS[args.workload](args.requests)
+    spec = PlanSpec(
+        workload=workload,
+        mpl_max=args.mpl_max,
+        slo=SloSpec(
+            response_ms=(None if args.slo_response is None
+                         else args.slo_response * 1e3),
+            abort_probability=args.slo_abort),
+        whatif=_parse_whatif(args.whatif),
+        tolerance=args.tolerance,
+        max_iterations=args.max_iterations,
+    )
+    result = plan(spec, jobs=args.jobs if args.jobs > 0 else None,
+                  use_cache=args.cached)
+    text = (render_plan_json(result) if args.json
+            else render_plan_text(result))
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_list(_args) -> int:
+    from repro.planner.report import render_workload_bounds
     print("experiments:")
     for exp_id, spec in sorted(EXPERIMENTS.items()):
         print(f"  {exp_id:>6}  {spec.title}")
     print("workloads:", ", ".join(sorted(STANDARD_WORKLOADS)))
+    print(render_workload_bounds())
     return 0
 
 
@@ -463,6 +563,7 @@ def main(argv: list[str] | None = None) -> int:
         "calibrate": _cmd_calibrate,
         "sensitivity": _cmd_sensitivity,
         "export": _cmd_export,
+        "plan": _cmd_plan,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

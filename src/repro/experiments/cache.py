@@ -40,8 +40,8 @@ from repro.experiments.runner import ExperimentResult, ExperimentSpec, \
     SweepPoint
 
 __all__ = ["CACHE_VERSION", "CacheStats", "ResultCache",
-           "default_cache_dir", "run_digest", "fetch_or_run",
-           "fetch_or_run_many", "clear_memory"]
+           "default_cache_dir", "run_digest", "payload_digest",
+           "fetch_or_run", "fetch_or_run_many", "clear_memory"]
 
 #: Bump to invalidate every existing entry after a semantic change to
 #: the solver, simulator, or the SweepPoint layout.
@@ -139,8 +139,27 @@ def run_digest(
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+def payload_digest(kind: str, token) -> str:
+    """Content digest for an arbitrary cached payload.
+
+    *kind* namespaces the digest (e.g. ``"plan-eval"``) so unrelated
+    payloads can never collide even if their tokens coincide; *token*
+    must canonicalize via :func:`_canonical` (dataclasses, enums,
+    dicts, sequences, scalars).
+    """
+    body = {"version": CACHE_VERSION, "kind": kind,
+            "token": _canonical(token)}
+    text = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 class ResultCache:
-    """Digest-addressed store of sweep-point tuples (memory + disk)."""
+    """Digest-addressed store of sweep-point tuples (memory + disk).
+
+    The generic :meth:`get_payload` / :meth:`put_payload` pair stores
+    arbitrary picklable objects under :func:`payload_digest` keys; the
+    capacity planner uses it to memoize individual model solves.
+    """
 
     def __init__(self, root: str | os.PathLike | None = None):
         self.root = Path(root) if root is not None \
@@ -159,7 +178,7 @@ class ResultCache:
             with open(self.path(digest), "rb") as handle:
                 entry = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError):
+                AttributeError, ImportError, IndexError, ValueError):
             return None
         if (not isinstance(entry, dict)
                 or entry.get("version") != CACHE_VERSION):
@@ -187,6 +206,42 @@ class ResultCache:
         except OSError:
             # A read-only or full cache directory must never fail the
             # run; the memory layer still serves this process.
+            pass
+
+    def get_payload(self, digest: str):
+        """Arbitrary payload for *digest*, or ``None`` on a miss."""
+        if digest in _MEMORY:
+            return _MEMORY[digest]
+        try:
+            with open(self.path(digest), "rb") as handle:
+                entry = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError, ValueError):
+            return None
+        if (not isinstance(entry, dict)
+                or entry.get("version") != CACHE_VERSION
+                or "payload" not in entry):
+            return None
+        payload = entry["payload"]
+        _MEMORY[digest] = payload
+        return payload
+
+    def put_payload(self, digest: str, payload) -> None:
+        """Store an arbitrary picklable *payload* (memory + disk)."""
+        _MEMORY[digest] = payload
+        entry = {"version": CACHE_VERSION, "payload": payload}
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(entry, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self.path(digest))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
             pass
 
 

@@ -36,7 +36,7 @@ from repro.experiments.runner import (ExperimentResult, ExperimentSpec,
 from repro.testbed.system import simulate
 
 __all__ = ["ParallelExecutionError", "resolve_jobs", "run_experiments",
-           "run_experiment_parallel"]
+           "run_experiment_parallel", "map_calls"]
 
 
 class ParallelExecutionError(CaratError):
@@ -68,6 +68,20 @@ class _SimTask:
     duration_ms: float
 
 
+@dataclass(frozen=True)
+class _CallTask:
+    """Apply a picklable callable to one work item.
+
+    The generic task shape behind :func:`map_calls`: ``fn`` must be a
+    module-level function (so the spawn start method can pickle it) and
+    the item/kwargs must be picklable too.
+    """
+
+    fn: object
+    item: object
+    kwargs: dict
+
+
 def _execute(task):
     """Run one task (in a worker process or inline)."""
     if isinstance(task, _ModelTask):
@@ -75,6 +89,8 @@ def _execute(task):
                                   task.model_kwargs,
                                   warm_start=task.warm_start,
                                   trace=task.trace)
+    if isinstance(task, _CallTask):
+        return task.fn(task.item, **task.kwargs)
     return simulate(task.workload, task.sites, seed=task.seed,
                     warmup_ms=task.warmup_ms,
                     duration_ms=task.duration_ms)
@@ -147,6 +163,23 @@ def _fan_out(tasks: list, jobs: int) -> list:
             f"{len(failures)} of {len(tasks)} sweep tasks failed; "
             f"first failure (task {index}): {message}\n{trace}")
     return results
+
+
+def map_calls(fn, items: list, jobs: int | None = None,
+              kwargs: dict | None = None) -> list:
+    """Apply a module-level callable to each item across worker
+    processes, results in item order.
+
+    The generic fork/join entry point behind the capacity planner's
+    what-if fan-out: ``fn``, every item and every kwarg must be
+    picklable, and ``fn`` must be importable from its module (no
+    closures or lambdas) so a worker can reconstruct the call.
+    Failures surface as :class:`ParallelExecutionError`, like every
+    other sweep task.
+    """
+    tasks = [_CallTask(fn=fn, item=item, kwargs=dict(kwargs or {}))
+             for item in items]
+    return _fan_out(tasks, resolve_jobs(jobs))
 
 
 def run_experiments(

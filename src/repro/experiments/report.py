@@ -18,8 +18,40 @@ def _fmt(value: float, digits: int = 2) -> str:
     return f"{value:.{digits}f}"
 
 
-def render_summary_table(result: ExperimentResult) -> str:
-    """Render XPUT/CPU/DIO rows (Tables 3 and 4 layout)."""
+def _zero_conflict_bounds(workload, site: str) -> tuple[float, float]:
+    """``(X upper bound /s, saturation N)`` of one site's aggregated
+    zero-conflict network (operational bounds, no fixed-point solve).
+
+    The throughput bound counts *all* site customers' cycle
+    completions (slave chains included), so it upper-bounds TR-XPUT
+    as well.  Uses the paper's site parameters — the same default the
+    experiment runner solves with.
+    """
+    # Local imports: report rendering must stay importable without
+    # pulling the solver into every experiments consumer.
+    from repro.model.parameters import paper_sites
+    from repro.model.solver import CaratModel, ModelConfig
+    from repro.queueing.bounds import (aggregate_mix_network,
+                                       balanced_job_bounds,
+                                       saturation_population)
+    model = CaratModel(ModelConfig(workload=workload,
+                                   sites=paper_sites()))
+    aggregate = aggregate_mix_network(model.site_network(site))
+    chain_bounds = balanced_job_bounds(aggregate, "mix")
+    return (chain_bounds.throughput_upper * 1e3,
+            saturation_population(aggregate, "mix"))
+
+
+def render_summary_table(result: ExperimentResult,
+                         bounds: bool = False) -> str:
+    """Render XPUT/CPU/DIO rows (Tables 3 and 4 layout).
+
+    With ``bounds=True``, two operational-bounds columns are appended
+    per row: ``X-ub`` (the balanced-job throughput upper bound of the
+    site's aggregated zero-conflict network, completions/s) and
+    ``N-sat`` (its asymptotic saturation population) — a no-solve
+    sanity rail next to every model/simulator number.
+    """
     spec = result.spec
     lines = [spec.title, ""]
     header = (f"{'n':>3} {'node':>4} | {'sim-XPUT':>8} {'sim-CPU':>7} "
@@ -28,8 +60,11 @@ def render_summary_table(result: ExperimentResult) -> str:
     has_paper = bool(spec.paper_model)
     if has_paper:
         header += (f" | {'pap-meas':>24} | {'pap-model':>24}")
+    if bounds:
+        header += f" | {'X-ub':>6} {'N-sat':>6}"
     lines.append(header)
     lines.append("-" * len(header))
+    bounds_cache: dict[tuple[int, str], tuple[float, float]] = {}
     for point in result.points:
         row = (f"{point.n:>3} {point.site:>4} | "
                f"{_fmt(point.sim_xput):>8} {_fmt(point.sim_cpu):>7} "
@@ -44,6 +79,13 @@ def render_summary_table(result: ExperimentResult) -> str:
                             if meas else " " * 24)
             row += " | " + (f"{model[0]:>7} {model[1]:>7} {model[2]:>8}"
                             if model else " " * 24)
+        if bounds:
+            key = (point.n, point.site)
+            if key not in bounds_cache:
+                bounds_cache[key] = _zero_conflict_bounds(
+                    spec.workload_factory(point.n), point.site)
+            x_upper, n_sat = bounds_cache[key]
+            row += f" | {_fmt(x_upper):>6} {_fmt(n_sat, 1):>6}"
         lines.append(row)
     return "\n".join(lines)
 

@@ -5,6 +5,12 @@ and the derived protocol constants.  This module sweeps any of them and
 reports how the headline measures move, which is how a modeler decides
 which parameters deserve careful measurement (paper §1's complaint that
 "resource requirements ... are not well known").
+
+Each sweep chains its solves: every point warm-starts from the
+previous value's converged iterates (nearby parameter values have
+nearby fixed points), which cuts the iteration count the same way the
+experiment runner's ``--warm-start`` does.  Independent sweeps fan out
+across worker processes through :func:`run_sweeps`.
 """
 
 from __future__ import annotations
@@ -13,12 +19,13 @@ from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
 from repro.model.parameters import ProtocolCosts, SiteParameters
-from repro.model.solver import solve_model
+from repro.model.solver import CaratModel, ModelConfig
 from repro.model.types import BaseType
 from repro.model.workload import WorkloadSpec
 
-__all__ = ["SensitivityPoint", "SensitivityResult", "sweep_site_field",
-           "sweep_protocol_field", "sweep_basic_cost", "elasticity"]
+__all__ = ["SensitivityPoint", "SensitivityResult", "SweepRequest",
+           "sweep_site_field", "sweep_protocol_field",
+           "sweep_basic_cost", "run_sweeps", "elasticity"]
 
 
 @dataclass(frozen=True)
@@ -29,6 +36,8 @@ class SensitivityPoint:
     throughput_per_s: dict[str, float]
     cpu_utilization: dict[str, float]
     dio_rate_per_s: dict[str, float]
+    #: Fixed-point iterations the solve took (warm starts show up here).
+    iterations: int = 0
 
 
 @dataclass(frozen=True)
@@ -42,19 +51,126 @@ class SensitivityResult:
         """(value, throughput) pairs for one site."""
         return [(p.value, p.throughput_per_s[site]) for p in self.points]
 
+    @property
+    def total_iterations(self) -> int:
+        """Fixed-point iterations summed over the sweep."""
+        return sum(p.iterations for p in self.points)
 
-def _solve(workload: WorkloadSpec,
-           sites: dict[str, SiteParameters]) -> dict:
-    solution = solve_model(workload, sites, max_iterations=1500,
-                           raise_on_nonconvergence=False)
-    return {
-        "throughput": {name: s.transaction_throughput_per_s
-                       for name, s in solution.sites.items()},
-        "cpu": {name: s.cpu_utilization
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One parameter sweep, as a picklable work item.
+
+    ``kind`` is ``"site"`` (a :class:`SiteParameters` field),
+    ``"protocol"`` (a :class:`ProtocolCosts` field) or ``"basic"``
+    (a Table 2 entry of ``base``).
+    """
+
+    kind: str
+    field: str
+    values: tuple[float, ...]
+    base: BaseType | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("site", "protocol", "basic"):
+            raise ConfigurationError(
+                f"unknown sweep kind {self.kind!r}")
+        if not self.values:
+            raise ConfigurationError("sweep needs at least one value")
+        if self.kind == "basic" and self.base is None:
+            raise ConfigurationError(
+                "basic-cost sweeps need a base transaction type")
+
+    @property
+    def parameter(self) -> str:
+        if self.kind == "site":
+            return f"site.{self.field}"
+        if self.kind == "protocol":
+            return f"protocol.{self.field}"
+        return f"table2.{self.base.value}.{self.field}"
+
+
+def _swept_sites(sites: dict[str, SiteParameters],
+                 request: SweepRequest,
+                 value: float) -> dict[str, SiteParameters]:
+    """Site parameters with one swept value applied at every site."""
+    if request.kind == "site":
+        if request.field == "block_io_ms":
+            # Disk speed must rescale the Table 2 DMIO costs too.
+            return {name: site.with_block_io(value)
+                    for name, site in sites.items()}
+        cast = int(value) if request.field in ("granules",
+                                               "records_per_granule") \
+            else value
+        return {name: site.with_overrides(**{request.field: cast})
+                for name, site in sites.items()}
+    if request.kind == "protocol":
+        cast = int(value) if isinstance(
+            getattr(ProtocolCosts(), request.field), int) else value
+        swept = {}
+        for name, site in sites.items():
+            protocol = replace(site.protocol, **{request.field: cast})
+            swept[name] = site.with_overrides(protocol=protocol)
+        return swept
+    swept = {}
+    for name, site in sites.items():
+        costs = dict(site.costs)
+        costs[request.base] = replace(costs[request.base],
+                                      **{request.field: value})
+        swept[name] = site.with_overrides(costs=costs)
+    return swept
+
+
+def run_sweep(request: SweepRequest,
+              workload: WorkloadSpec,
+              sites: dict[str, SiteParameters],
+              warm_start: bool = True) -> SensitivityResult:
+    """Run one sweep, chaining warm starts along the value axis.
+
+    Module-level and picklable-by-reference, so :func:`run_sweeps`
+    can ship it to worker processes.
+    """
+    points = []
+    snapshot = None
+    for value in request.values:
+        model = CaratModel(
+            ModelConfig(workload=workload,
+                        sites=_swept_sites(sites, request, value),
+                        max_iterations=1500,
+                        raise_on_nonconvergence=False),
+            warm_start=snapshot)
+        solution = model.solve()
+        if warm_start:
+            snapshot = model.snapshot()
+        points.append(SensitivityPoint(
+            value=float(value),
+            throughput_per_s={
+                name: s.transaction_throughput_per_s
                 for name, s in solution.sites.items()},
-        "dio": {name: s.dio_rate_per_s
-                for name, s in solution.sites.items()},
-    }
+            cpu_utilization={name: s.cpu_utilization
+                             for name, s in solution.sites.items()},
+            dio_rate_per_s={name: s.dio_rate_per_s
+                            for name, s in solution.sites.items()},
+            iterations=solution.iterations,
+        ))
+    return SensitivityResult(parameter=request.parameter,
+                             points=tuple(points))
+
+
+def run_sweeps(requests: list[SweepRequest],
+               workload: WorkloadSpec,
+               sites: dict[str, SiteParameters],
+               warm_start: bool = True,
+               jobs: int | None = 1) -> list[SensitivityResult]:
+    """Run several independent sweeps, fanned out over *jobs* worker
+    processes (the same fork/join invoker the experiment runner uses;
+    each sweep's warm-start chain stays sequential inside one worker).
+    """
+    from repro.experiments.parallel import map_calls
+
+    return map_calls(run_sweep, list(requests), jobs=jobs,
+                     kwargs={"workload": workload, "sites": sites,
+                             "warm_start": warm_start})
 
 
 def sweep_site_field(
@@ -62,32 +178,13 @@ def sweep_site_field(
     sites: dict[str, SiteParameters],
     field: str,
     values: list[float],
+    warm_start: bool = True,
 ) -> SensitivityResult:
     """Sweep one :class:`SiteParameters` field (e.g. ``block_io_ms``,
     ``granules``) at every site simultaneously."""
-    if not values:
-        raise ConfigurationError("sweep needs at least one value")
-    points = []
-    for value in values:
-        if field == "block_io_ms":
-            # Disk speed must rescale the Table 2 DMIO costs too.
-            swept = {name: site.with_block_io(value)
-                     for name, site in sites.items()}
-        else:
-            cast = int(value) if field in ("granules",
-                                           "records_per_granule") \
-                else value
-            swept = {name: site.with_overrides(**{field: cast})
-                     for name, site in sites.items()}
-        measures = _solve(workload, swept)
-        points.append(SensitivityPoint(
-            value=float(value),
-            throughput_per_s=measures["throughput"],
-            cpu_utilization=measures["cpu"],
-            dio_rate_per_s=measures["dio"],
-        ))
-    return SensitivityResult(parameter=f"site.{field}",
-                             points=tuple(points))
+    return run_sweep(SweepRequest(kind="site", field=field,
+                                  values=tuple(values)),
+                     workload, sites, warm_start=warm_start)
 
 
 def sweep_protocol_field(
@@ -95,27 +192,12 @@ def sweep_protocol_field(
     sites: dict[str, SiteParameters],
     field: str,
     values: list[float],
+    warm_start: bool = True,
 ) -> SensitivityResult:
     """Sweep one :class:`ProtocolCosts` field at every site."""
-    if not values:
-        raise ConfigurationError("sweep needs at least one value")
-    points = []
-    for value in values:
-        cast = int(value) if isinstance(
-            getattr(ProtocolCosts(), field), int) else value
-        swept = {}
-        for name, site in sites.items():
-            protocol = replace(site.protocol, **{field: cast})
-            swept[name] = site.with_overrides(protocol=protocol)
-        measures = _solve(workload, swept)
-        points.append(SensitivityPoint(
-            value=float(value),
-            throughput_per_s=measures["throughput"],
-            cpu_utilization=measures["cpu"],
-            dio_rate_per_s=measures["dio"],
-        ))
-    return SensitivityResult(parameter=f"protocol.{field}",
-                             points=tuple(points))
+    return run_sweep(SweepRequest(kind="protocol", field=field,
+                                  values=tuple(values)),
+                     workload, sites, warm_start=warm_start)
 
 
 def sweep_basic_cost(
@@ -124,28 +206,13 @@ def sweep_basic_cost(
     base: BaseType,
     field: str,
     values: list[float],
+    warm_start: bool = True,
 ) -> SensitivityResult:
     """Sweep one Table 2 entry (e.g. LU's ``dmio_disk``) at every
     site."""
-    if not values:
-        raise ConfigurationError("sweep needs at least one value")
-    points = []
-    for value in values:
-        swept = {}
-        for name, site in sites.items():
-            costs = dict(site.costs)
-            costs[base] = replace(costs[base], **{field: value})
-            swept[name] = site.with_overrides(costs=costs)
-        measures = _solve(workload, swept)
-        points.append(SensitivityPoint(
-            value=float(value),
-            throughput_per_s=measures["throughput"],
-            cpu_utilization=measures["cpu"],
-            dio_rate_per_s=measures["dio"],
-        ))
-    return SensitivityResult(
-        parameter=f"table2.{base.value}.{field}",
-        points=tuple(points))
+    return run_sweep(SweepRequest(kind="basic", field=field,
+                                  values=tuple(values), base=base),
+                     workload, sites, warm_start=warm_start)
 
 
 def elasticity(result: SensitivityResult, site: str) -> float:

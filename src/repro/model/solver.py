@@ -254,6 +254,22 @@ class CaratModel:
             for (site, chain), state in self._state.items()
         }
 
+    def site_network(self, site_name: str) -> ClosedNetwork:
+        """The site's closed network built from the current iterates.
+
+        Right after construction this is the *zero-conflict* network
+        (no lock waits, no remote waits, no aborts) — the cheap
+        operational-bounds input the capacity planner pre-screens with.
+        After :meth:`solve` it reflects the converged iterates, so the
+        contention delays appear as delay-center demands and the
+        classic product-form bounds apply to the fixed point itself.
+        """
+        if site_name not in self.sites:
+            raise ConfigurationError(
+                f"unknown site {site_name!r}; workload sites are "
+                f"{list(self.sites)}")
+        return self._site_network(site_name)
+
     def _refresh_abort_state(self, state: _ChainState) -> None:
         """E[Y] and sigma from the current ``Pb * Pd``.
 

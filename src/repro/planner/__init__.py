@@ -1,0 +1,116 @@
+"""Capacity planner: SLO-driven what-if engine over the analytic model.
+
+Answers the questions the CARAT model exists for, without running a
+brute-force sweep for each one:
+
+* *What multiprogramming level maximizes throughput, and where does
+  thrashing begin?*  (:func:`repro.planner.search.find_optimum` —
+  golden-section style search over the mix-preserving MPL grid, with
+  the operational bounds of :mod:`repro.queueing.bounds` sandwiching
+  the saturation point.)
+* *How many users / what arrival rate can we carry under a response or
+  abort SLO?*  (:func:`repro.planner.search.slo_max_mpl`,
+  :func:`repro.planner.search.slo_max_arrival_per_s`.)
+* *Where does the time go, and what would an upgrade buy?*
+  (:mod:`repro.planner.bottleneck`, :mod:`repro.planner.whatif`.)
+
+The one-call entry point is :func:`plan`; the CLI front end is
+``repro plan``.
+"""
+
+from __future__ import annotations
+
+from repro.model.parameters import SiteParameters, paper_sites
+from repro.planner.bottleneck import bottleneck_table, top_bottleneck
+from repro.planner.report import (render_plan_json, render_plan_text,
+                                  render_workload_bounds)
+from repro.planner.search import (PlanEvaluator, brute_force_optimum,
+                                  find_optimum, mix_quantum, mpl_grid,
+                                  scale_to_mpl, slo_max_arrival_per_s,
+                                  slo_max_mpl)
+from repro.planner.spec import (BottleneckEntry, MplPoint, OptimumResult,
+                                PlanResult, PlanSpec, SaturationWindow,
+                                SloSpec, SloVerdict, WhatIfCandidate,
+                                WhatIfOutcome)
+from repro.planner.whatif import (apply_candidate, run_whatif,
+                                  standard_candidates)
+
+__all__ = [
+    "PlanSpec", "PlanResult", "SloSpec", "SloVerdict", "MplPoint",
+    "OptimumResult", "SaturationWindow", "BottleneckEntry",
+    "WhatIfCandidate", "WhatIfOutcome",
+    "PlanEvaluator", "mix_quantum", "scale_to_mpl", "mpl_grid",
+    "find_optimum", "brute_force_optimum", "slo_max_mpl",
+    "slo_max_arrival_per_s",
+    "bottleneck_table", "top_bottleneck",
+    "apply_candidate", "run_whatif", "standard_candidates",
+    "render_plan_text", "render_plan_json", "render_workload_bounds",
+    "plan",
+]
+
+
+def _slo_verdicts(spec: PlanSpec, evaluator: PlanEvaluator,
+                  optimum, grid) -> tuple[SloVerdict, ...]:
+    verdicts: list[SloVerdict] = []
+    slo = spec.slo
+    if slo.response_ms is not None:
+        max_mpl, point = slo_max_mpl(
+            evaluator, grid,
+            lambda p: p.response_ms <= slo.response_ms)
+        verdicts.append(SloVerdict(
+            kind="response_ms",
+            target=slo.response_ms,
+            max_mpl=max_mpl,
+            value_at_max=point.response_ms if point else None,
+            met_at_optimum=optimum.point.response_ms
+            <= slo.response_ms,
+            max_arrival_per_s=slo_max_arrival_per_s(
+                spec.workload, evaluator.sites, slo.response_ms),
+        ))
+    if slo.abort_probability is not None:
+        max_mpl, point = slo_max_mpl(
+            evaluator, grid,
+            lambda p: p.abort_probability <= slo.abort_probability)
+        verdicts.append(SloVerdict(
+            kind="abort_probability",
+            target=slo.abort_probability,
+            max_mpl=max_mpl,
+            value_at_max=point.abort_probability if point else None,
+            met_at_optimum=optimum.point.abort_probability
+            <= slo.abort_probability,
+        ))
+    return tuple(verdicts)
+
+
+def plan(spec: PlanSpec,
+         sites: dict[str, SiteParameters] | None = None,
+         jobs: int | None = 1,
+         use_cache: bool = False) -> PlanResult:
+    """Answer a capacity-planning question end to end.
+
+    Finds the throughput-optimal MPL, checks the requested SLOs on
+    the same memoized evaluator (the searches share solves), builds
+    the bottleneck table at the optimum and fans the what-if
+    candidates out over *jobs* workers.  With ``use_cache`` every
+    model solve is memoized in the content-addressed result cache.
+    """
+    sites = sites or paper_sites()
+    evaluator = PlanEvaluator(spec.workload, sites,
+                              model_kwargs=spec.model_kwargs,
+                              use_cache=use_cache)
+    optimum = find_optimum(evaluator, spec.mpl_max)
+    verdicts = _slo_verdicts(spec, evaluator, optimum, optimum.grid)
+    bottlenecks = bottleneck_table(
+        evaluator.solution(optimum.point.mpl))
+    outcomes = run_whatif(spec.whatif, spec.workload, sites,
+                          optimum.point, spec.model_kwargs,
+                          jobs=jobs, use_cache=use_cache)
+    return PlanResult(
+        workload=spec.workload.name,
+        requests_per_txn=spec.workload.requests_per_txn,
+        quantum=evaluator.quantum,
+        optimum=optimum,
+        slo=verdicts,
+        bottlenecks=bottlenecks,
+        whatif=outcomes,
+    )

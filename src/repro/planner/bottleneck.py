@@ -1,0 +1,69 @@
+"""Bottleneck attribution over a converged model solution.
+
+Ranks every service center by how much of the user commit cycle it
+absorbs: the throughput-weighted mean of each chain's residence share
+(:meth:`~repro.model.results.ChainResult.residence_fraction`).  This
+covers both the physical centers (cpu/disk/logdisk, which also carry a
+utilization) and the synchronization delay centers (lock wait, remote
+wait, commit wait) that dominate once the mix thrashes — the paper's
+own diagnosis of the testbed was exactly such a shared-disk plus
+lock-wait attribution.
+"""
+
+from __future__ import annotations
+
+from repro.model.results import USER_CHAINS, ModelSolution, SiteResult
+from repro.planner.spec import BottleneckEntry
+
+__all__ = ["bottleneck_table", "top_bottleneck"]
+
+#: Centers excluded from attribution ("ut" is the user's own think
+#: time, not a resource the testbed provides).
+_EXCLUDED = frozenset({"ut"})
+
+#: Physical centers whose site-level utilization is reported.
+_UTILIZATION = {"cpu": "cpu_utilization", "disk": "disk_utilization",
+                "logdisk": "log_disk_utilization"}
+
+
+def _site_entries(site: SiteResult) -> list[BottleneckEntry]:
+    weights: dict[str, float] = {}
+    total = 0.0
+    for chain, result in site.chains.items():
+        if chain not in USER_CHAINS or result.throughput_per_s <= 0:
+            continue
+        total += result.throughput_per_s
+        for center, residence in result.residence_ms.items():
+            if center in _EXCLUDED or result.cycle_response_ms <= 0:
+                continue
+            weights[center] = weights.get(center, 0.0) \
+                + result.throughput_per_s \
+                * residence / result.cycle_response_ms
+    entries = []
+    for center, weight in weights.items():
+        utilization = None
+        attr = _UTILIZATION.get(center)
+        if attr is not None:
+            utilization = getattr(site, attr)
+        entries.append(BottleneckEntry(
+            site=site.site, center=center,
+            residence_share=weight / total if total > 0 else 0.0,
+            utilization=utilization))
+    return entries
+
+
+def bottleneck_table(solution: ModelSolution) -> tuple[BottleneckEntry,
+                                                       ...]:
+    """All (site, center) entries, worst offender first."""
+    entries: list[BottleneckEntry] = []
+    for site in solution.sites.values():
+        entries.extend(_site_entries(site))
+    entries.sort(key=lambda e: e.residence_share, reverse=True)
+    return tuple(entries)
+
+
+def top_bottleneck(solution: ModelSolution) -> str:
+    """Name of the center absorbing the largest share of the user
+    cycle anywhere in the system (``"none"`` for an idle solution)."""
+    table = bottleneck_table(solution)
+    return table[0].center if table else "none"

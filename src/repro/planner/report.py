@@ -1,0 +1,167 @@
+"""Rendering of capacity-plan results (text tables and JSON)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.planner.spec import PlanResult
+
+__all__ = ["render_plan_text", "render_plan_json",
+           "render_workload_bounds"]
+
+
+def _fmt(value: float | None, pattern: str = "{:.3f}",
+         missing: str = "-") -> str:
+    if value is None:
+        return missing
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    return pattern.format(value)
+
+
+def _optimum_lines(result: PlanResult) -> list[str]:
+    optimum = result.optimum
+    point = optimum.point
+    lines = [
+        f"Capacity plan: {result.workload} "
+        f"(n={result.requests_per_txn}, MPL grid step "
+        f"{result.quantum}/site)",
+        "",
+        f"  optimal MPL    : {point.mpl} users/site  "
+        f"(X={point.throughput_per_s:.3f} txn/s, "
+        f"R={point.response_ms / 1e3:.2f} s, "
+        f"Pa={point.abort_probability:.3f})",
+        f"  thrashing knee : "
+        + (f"{optimum.knee_mpl} users/site"
+           if optimum.knee_mpl is not None
+           else f"not reached on grid (max {optimum.grid[-1]})"),
+    ]
+    if not point.converged:
+        lines.append("  WARNING        : optimum solve did not fully "
+                     "converge; treat numbers as approximate")
+    for window in optimum.windows:
+        lines.append(
+            f"  site {window.site} window: saturation between "
+            f"{_fmt(window.lower, '{:.1f}')} and "
+            f"{_fmt(window.upper, '{:.1f}')} customers "
+            f"(holds {window.population}; binding bound: "
+            f"{window.binding})")
+    lines.append(
+        f"  search cost    : {optimum.solves} solves over "
+        f"{optimum.evaluations} MPLs "
+        f"({len(optimum.grid)} grid points, "
+        f"{optimum.cache_hits} cache hits, "
+        f"{optimum.total_iterations} fixed-point iterations)")
+    return lines
+
+
+def _slo_lines(result: PlanResult) -> list[str]:
+    if not result.slo:
+        return []
+    lines = ["", "SLO verdicts:"]
+    for verdict in result.slo:
+        if verdict.kind == "response_ms":
+            target = f"R <= {verdict.target / 1e3:g} s"
+            at_max = _fmt(None if verdict.value_at_max is None
+                          else verdict.value_at_max / 1e3, "{:.2f} s")
+        else:
+            target = f"Pa <= {verdict.target:g}"
+            at_max = _fmt(verdict.value_at_max)
+        status = "met at optimum" if verdict.met_at_optimum \
+            else "NOT met at optimum"
+        reach = (f"max MPL {verdict.max_mpl}/site "
+                 f"(value {at_max})"
+                 if verdict.max_mpl is not None
+                 else "infeasible at every searched MPL")
+        lines.append(f"  {target:<16} {status}; {reach}")
+        if verdict.max_arrival_per_s is not None:
+            lines.append(
+                f"  {'':<16} open-model capacity "
+                f"{verdict.max_arrival_per_s:.3f} arrivals/s total")
+    return lines
+
+
+def _bottleneck_lines(result: PlanResult) -> list[str]:
+    if not result.bottlenecks:
+        return []
+    lines = ["", "Bottlenecks at the optimum "
+             "(share of user cycle; utilization where physical):",
+             f"  {'site':<6}{'center':<10}{'share':>8}{'util':>8}"]
+    for entry in result.bottlenecks:
+        lines.append(
+            f"  {entry.site:<6}{entry.center:<10}"
+            f"{entry.residence_share:>8.1%}"
+            f"{_fmt(entry.utilization, '{:.1%}'):>8}")
+    return lines
+
+
+def _whatif_lines(result: PlanResult) -> list[str]:
+    if not result.whatif:
+        return []
+    lines = ["", "What-if at the optimal MPL:",
+             f"  {'change':<24}{'X (txn/s)':>10}{'speedup':>9}"
+             f"{'R (s)':>8}  bottleneck"]
+    for outcome in result.whatif:
+        lines.append(
+            f"  {outcome.candidate.label:<24}"
+            f"{outcome.throughput_per_s:>10.3f}"
+            f"{outcome.speedup:>8.2f}x"
+            f"{outcome.response_ms / 1e3:>8.2f}  "
+            f"{outcome.bottleneck}")
+    return lines
+
+
+def render_workload_bounds(requests: int = 8) -> str:
+    """Operational-bounds table of the standard workload catalog.
+
+    For each workload and site: the balanced-job throughput upper
+    bound of the aggregated zero-conflict site network (completions/s
+    over all site customers, slave chains included) and its asymptotic
+    saturation population — the planner's no-solve pre-screen, shown
+    by ``repro list``.
+    """
+    from repro.model.parameters import paper_sites
+    from repro.model.solver import CaratModel, ModelConfig
+    from repro.model.workload import STANDARD_WORKLOADS
+    from repro.queueing.bounds import (aggregate_mix_network,
+                                       balanced_job_bounds,
+                                       saturation_population)
+    sites = paper_sites()
+    lines = [f"operational bounds at n={requests} (zero-conflict, "
+             "per site; X-ub in completions/s):",
+             f"  {'workload':<10}{'site':<6}{'X-ub':>8}{'N-sat':>8}"]
+    for name, factory in sorted(STANDARD_WORKLOADS.items()):
+        workload = factory(requests)
+        model = CaratModel(ModelConfig(workload=workload, sites=sites))
+        for site_name in workload.sites:
+            aggregate = aggregate_mix_network(
+                model.site_network(site_name))
+            chain_bounds = balanced_job_bounds(aggregate, "mix")
+            n_star = saturation_population(aggregate, "mix")
+            lines.append(f"  {name:<10}{site_name:<6}"
+                         f"{chain_bounds.throughput_upper * 1e3:>8.2f}"
+                         f"{n_star:>8.1f}")
+    return "\n".join(lines)
+
+
+def render_plan_text(result: PlanResult) -> str:
+    """Human-readable capacity plan."""
+    lines = (_optimum_lines(result) + _slo_lines(result)
+             + _bottleneck_lines(result) + _whatif_lines(result))
+    return "\n".join(lines)
+
+
+def render_plan_json(result: PlanResult, indent: int | None = 2) -> str:
+    """The plan as a JSON document (``inf`` window edges serialized
+    as the string ``"inf"`` so the output stays standard JSON)."""
+    def _clean(obj):
+        if isinstance(obj, float) and not math.isfinite(obj):
+            return "inf" if obj > 0 else "-inf"
+        if isinstance(obj, dict):
+            return {k: _clean(v) for k, v in obj.items()}
+        if isinstance(obj, list):
+            return [_clean(v) for v in obj]
+        return obj
+
+    return json.dumps(_clean(result.to_dict()), indent=indent)

@@ -7,9 +7,12 @@ oracle for validation, Yao's block-access formula and an Ethernet delay
 model.
 """
 
-from repro.queueing.bounds import (ChainBounds, asymptotic_bounds,
+from repro.queueing.bounds import (ChainBounds, aggregate_mix_network,
+                                   asymptotic_bounds,
                                    balanced_job_bounds,
-                                   saturation_population)
+                                   bjb_saturation_population, mix_bounds,
+                                   saturation_population,
+                                   saturation_window)
 from repro.queueing.centers import CenterKind, ServiceCenter
 from repro.queueing.convolution import solve_convolution
 from repro.queueing.ctmc import solve_ctmc
@@ -36,4 +39,8 @@ __all__ = [
     "asymptotic_bounds",
     "balanced_job_bounds",
     "saturation_population",
+    "bjb_saturation_population",
+    "saturation_window",
+    "aggregate_mix_network",
+    "mix_bounds",
 ]

@@ -18,13 +18,16 @@ uses them to detect a saturated configuration before iterating.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.queueing.centers import CenterKind, ServiceCenter
 from repro.queueing.network import ClosedNetwork
 
 __all__ = ["ChainBounds", "asymptotic_bounds", "balanced_job_bounds",
-           "saturation_population"]
+           "saturation_population", "bjb_saturation_population",
+           "saturation_window", "aggregate_mix_network", "mix_bounds"]
 
 
 @dataclass(frozen=True)
@@ -50,9 +53,13 @@ def _chain_demands(network: ClosedNetwork, chain: str):
                 if c.demand(chain) > 0.0]
     think = sum(c.demand(chain) for c in network.delay_centers())
     if not queueing:
+        # Also covers chains whose every queueing demand is exactly
+        # zero: D_max = D_avg = 0 would otherwise divide by zero in
+        # every bound formula below.
         raise ConfigurationError(
-            f"chain {chain!r} visits no queueing center; bounds are "
-            f"trivial (X = N / Z)"
+            f"chain {chain!r} places no demand on any queueing center; "
+            f"bounds are trivial (X = N / Z) and the saturation "
+            f"population is undefined"
         )
     return queueing, think
 
@@ -122,3 +129,90 @@ def saturation_population(network: ClosedNetwork, chain: str) -> float:
     customers only adds queueing."""
     queueing, think = _chain_demands(network, chain)
     return (sum(queueing) + think) / max(queueing)
+
+
+def bjb_saturation_population(network: ClosedNetwork,
+                              chain: str) -> float:
+    """Population where the balanced-job *upper* bound meets the
+    bottleneck capacity ``1 / D_max``.
+
+    Solving ``N / (D + Z + (N - 1) c) = 1 / D_max`` with
+    ``c = D_avg * D / (D + Z)`` gives ``N = (D + Z - c) / (D_max - c)``.
+    Because the BJB upper bound rises more slowly than the asymptotic
+    one, this crossing is never earlier than
+    :func:`saturation_population`; together they sandwich the knee of
+    the true throughput curve.  For a perfectly balanced network
+    (``D_max = c``, e.g. identical demands and no think time) the bound
+    only reaches capacity asymptotically and the result is ``inf``.
+    """
+    queueing, think = _chain_demands(network, chain)
+    total = sum(queueing)
+    d_max = max(queueing)
+    d_avg = total / len(queueing)
+    c = d_avg * total / (total + think)
+    if d_max - c <= 1e-15 * d_max:
+        return math.inf
+    return (total + think - c) / (d_max - c)
+
+
+def saturation_window(network: ClosedNetwork,
+                      chain: str) -> tuple[float, float]:
+    """``(N_lower, N_upper)`` sandwich of the throughput knee.
+
+    ``N_lower`` is the asymptotic-bounds crossing
+    (:func:`saturation_population`), ``N_upper`` the balanced-job
+    upper-bound crossing (:func:`bjb_saturation_population`).  For any
+    product-form network the true curve reaches its bottleneck plateau
+    between the two.
+    """
+    return (saturation_population(network, chain),
+            bjb_saturation_population(network, chain))
+
+
+def aggregate_mix_network(network: ClosedNetwork,
+                          chains: tuple[str, ...] | None = None,
+                          name: str = "mix") -> ClosedNetwork:
+    """Collapse *chains* (default: all populated chains) into a single
+    chain whose per-customer demand at every center is the
+    population-weighted mean of the member chains' demands.
+
+    This is the classic single-class reduction used to apply the
+    asymptotic / balanced-job bounds to a multi-chain mix with fixed
+    proportions — the capacity planner's cheap pre-screen.  The
+    reduction assumes every customer of the mix cycles at the same
+    rate, so treat the resulting bounds as planning estimates, not
+    hard guarantees, for strongly asymmetric mixes.
+    """
+    members = tuple(chains) if chains is not None \
+        else network.active_chains
+    unknown = [c for c in members if c not in network.populations]
+    if unknown:
+        raise ConfigurationError(
+            f"cannot aggregate unknown chains {unknown}")
+    population = sum(network.populations[c] for c in members)
+    if population <= 0:
+        raise ConfigurationError(
+            "aggregate mix has no customers; nothing to bound")
+    centers = []
+    for center in network.centers:
+        demand = sum(network.populations[c] * center.demand(c)
+                     for c in members) / population
+        centers.append(ServiceCenter(center.name, center.kind,
+                                     {name: demand}))
+    has_queueing = any(c.kind is CenterKind.QUEUEING
+                       and c.demand(name) > 0.0 for c in centers)
+    if not has_queueing:
+        raise ConfigurationError(
+            "aggregate mix places no demand on any queueing center "
+            "(D_max = 0); its bounds are undefined")
+    return ClosedNetwork(centers=tuple(centers),
+                         populations={name: population})
+
+
+def mix_bounds(network: ClosedNetwork,
+               chains: tuple[str, ...] | None = None) -> ChainBounds:
+    """Balanced-job bounds of the aggregated mix
+    (:func:`aggregate_mix_network`), in network passes of an average
+    customer per time unit."""
+    aggregate = aggregate_mix_network(network, chains)
+    return balanced_job_bounds(aggregate, "mix")

@@ -153,3 +153,44 @@ class TestFetchOrRunMany:
             sim_duration_ms=10_000.0, run_simulation=False,
             model_kwargs={"max_iterations": 1000}, cache=cache)
         assert first[0].points is second[0].points
+
+
+class TestPayloadCache:
+    def test_payload_digest_deterministic_and_namespaced(self, sites):
+        token = {"workload": mb4(4), "sites": sites}
+        assert (cache_mod.payload_digest("plan-eval", token)
+                == cache_mod.payload_digest("plan-eval", token))
+        assert (cache_mod.payload_digest("plan-eval", token)
+                != cache_mod.payload_digest("other", token))
+        assert (cache_mod.payload_digest("plan-eval", token)
+                != cache_mod.payload_digest(
+                    "plan-eval", {"workload": mb4(8), "sites": sites}))
+
+    def test_roundtrip_through_disk(self):
+        cache = ResultCache()
+        digest = cache_mod.payload_digest("test", {"k": 1})
+        assert cache.get_payload(digest) is None
+        cache.put_payload(digest, {"value": [1, 2, 3]})
+        cache_mod.clear_memory()
+        assert ResultCache().get_payload(digest) == {"value": [1, 2, 3]}
+
+    # "garbage\n" starts with the 'g' pickle opcode, which raises
+    # ValueError (not UnpicklingError) — both must read as misses.
+    @pytest.mark.parametrize("junk", [b"not a pickle", b"garbage\n",
+                                      b""])
+    def test_corrupt_payload_is_a_miss(self, junk):
+        cache = ResultCache()
+        digest = cache_mod.payload_digest("test", {"k": 2})
+        cache.put_payload(digest, "fine")
+        cache_mod.clear_memory()
+        cache.path(digest).write_bytes(junk)
+        assert cache.get_payload(digest) is None
+
+    def test_sweep_entry_is_not_a_payload(self):
+        """get_payload refuses entries written by put (and vice
+        versa): the two layouts never alias."""
+        cache = ResultCache()
+        digest = cache_mod.payload_digest("test", {"k": 3})
+        cache.put(digest, ())
+        cache_mod.clear_memory()
+        assert cache.get_payload(digest) is None

@@ -97,3 +97,40 @@ class TestFanOutMachinery:
         with pytest.raises(ParallelExecutionError) as info:
             _fan_out([bad, bad], jobs=2)
         assert "ConfigurationError" in str(info.value)
+
+
+def _affine(x, scale=1, offset=0):
+    """Module-level so map_calls can pickle it into workers."""
+    return scale * x + offset
+
+
+def _explode(x):
+    raise ValueError(f"boom on {x}")
+
+
+class TestMapCalls:
+    def test_preserves_order_serial(self):
+        from repro.experiments.parallel import map_calls
+        assert map_calls(_affine, [3, 1, 2], jobs=1) == [3, 1, 2]
+
+    def test_preserves_order_parallel(self):
+        from repro.experiments.parallel import map_calls
+        result = map_calls(_affine, list(range(6)), jobs=2,
+                           kwargs={"scale": 2, "offset": 1})
+        assert result == [2 * x + 1 for x in range(6)]
+
+    def test_empty_items(self):
+        from repro.experiments.parallel import map_calls
+        assert map_calls(_affine, [], jobs=2) == []
+
+    def test_worker_error_is_wrapped(self):
+        from repro.experiments.parallel import map_calls
+        with pytest.raises(ParallelExecutionError):
+            map_calls(_explode, [1, 2], jobs=2)
+
+    def test_inline_error_passes_through(self):
+        """A single task runs inline, so the original error surfaces
+        undecorated (easier to debug than the wrapped form)."""
+        from repro.experiments.parallel import map_calls
+        with pytest.raises(ValueError, match="boom"):
+            map_calls(_explode, [1], jobs=2)

@@ -71,3 +71,38 @@ class TestElasticity:
                                   [28.0])
         with pytest.raises(ConfigurationError):
             elasticity(result, "A")
+
+
+class TestWarmStartedSweeps:
+    def test_warm_matches_cold_and_costs_fewer_iterations(
+            self, workload, sites):
+        """Chaining snapshots along the sweep changes nothing but the
+        iteration count."""
+        warm = sweep_site_field(workload, sites, "block_io_ms",
+                                [20.0, 28.0, 36.0], warm_start=True)
+        cold = sweep_site_field(workload, sites, "block_io_ms",
+                                [20.0, 28.0, 36.0], warm_start=False)
+        for wp, cp in zip(warm.points, cold.points):
+            for site in ("A", "B"):
+                assert wp.throughput_per_s[site] == pytest.approx(
+                    cp.throughput_per_s[site], rel=1e-3)
+        assert warm.total_iterations <= cold.total_iterations
+        assert all(p.iterations > 0 for p in warm.points)
+
+    def test_run_sweeps_parallel_matches_serial(self, workload, sites):
+        from repro.experiments.sensitivity import (SweepRequest,
+                                                   run_sweeps)
+        requests = [
+            SweepRequest(kind="site", field="block_io_ms",
+                         values=(20.0, 36.0)),
+            SweepRequest(kind="protocol", field="commit_cpu",
+                         values=(6.0, 12.0)),
+        ]
+        serial = run_sweeps(requests, workload, sites, jobs=1)
+        parallel = run_sweeps(requests, workload, sites, jobs=2)
+        assert [r.parameter for r in serial] \
+            == ["site.block_io_ms", "protocol.commit_cpu"]
+        for s, p in zip(serial, parallel):
+            assert s.parameter == p.parameter
+            for sp, pp in zip(s.points, p.points):
+                assert sp.throughput_per_s == pp.throughput_per_s

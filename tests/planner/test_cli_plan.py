@@ -1,0 +1,132 @@
+"""Tests for the ``repro plan`` CLI, the bounds columns of
+``repro list`` / ``repro experiment --bounds``, and the plan
+renderers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import _parse_whatif, build_parser, main
+from repro.experiments.report import render_summary_table
+from repro.experiments.runner import (ExperimentResult, ExperimentSpec,
+                                      SweepPoint)
+from repro.model.workload import mb4
+
+#: Affordable plan invocation reused across CLI tests.
+QUICK_PLAN = ["plan", "--workload", "mb4", "-n", "4", "--mpl-max", "8",
+              "--tolerance", "1e-3", "--max-iterations", "300"]
+
+
+class TestPlanParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.workload == "MB8"
+        assert args.requests == 8
+        assert args.mpl_max == 24
+        assert args.slo_response is None
+        assert args.whatif is None
+        assert args.jobs == 1
+        assert not args.json and not args.cached
+
+    def test_workload_is_case_insensitive(self):
+        args = build_parser().parse_args(
+            ["plan", "--workload", "mb8"])
+        assert args.workload == "MB8"
+
+    def test_whatif_accumulates(self):
+        args = build_parser().parse_args(
+            ["plan", "--whatif", "cpu=4", "--whatif", "log-split"])
+        assert args.whatif == ["cpu=4", "log-split"]
+
+
+class TestParseWhatif:
+    def test_none_and_empty(self):
+        assert _parse_whatif(None) == ()
+        assert _parse_whatif([]) == ()
+
+    def test_tokens(self):
+        cpu, log = _parse_whatif(["cpu=4", "log-split"])
+        assert (cpu.kind, cpu.factor) == ("cpu_speed", 4.0)
+        assert log.kind == "log_split"
+
+    def test_default_factor(self):
+        (disk,) = _parse_whatif(["disk"])
+        assert (disk.kind, disk.factor) == ("disk_speed", 2.0)
+
+    def test_standard_menu(self):
+        kinds = [c.kind for c in _parse_whatif(["standard"])]
+        assert kinds == ["cpu_speed", "disk_speed", "granules",
+                         "log_split"]
+
+    def test_unknown_token_exits(self):
+        with pytest.raises(SystemExit):
+            _parse_whatif(["warp-drive"])
+
+
+class TestPlanCommand:
+    def test_json_document(self, capsys):
+        assert main(QUICK_PLAN + ["--slo-response", "60",
+                                  "--whatif", "disk",
+                                  "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "MB4"
+        assert payload["optimum"]["grid"] == [4, 8]
+        assert payload["optimum"]["point"]["mpl"] in (4, 8)
+        assert payload["optimum"]["solves"] >= 1
+        assert payload["slo"][0]["kind"] == "response_ms"
+        assert payload["slo"][0]["target"] == 60_000.0
+        assert payload["bottlenecks"]
+        assert payload["whatif"][0]["candidate"]["kind"] \
+            == "disk_speed"
+
+    def test_text_report(self, capsys):
+        assert main(QUICK_PLAN) == 0
+        out = capsys.readouterr().out
+        assert "Capacity plan: MB4" in out
+        assert "optimal MPL" in out
+        assert "site A window" in out and "site B window" in out
+        assert "search cost" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "plan.json"
+        assert main(QUICK_PLAN + ["--json", "--output",
+                                  str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads(target.read_text())
+        assert payload["workload"] == "MB4"
+
+
+class TestListBounds:
+    def test_list_shows_bounds_table(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "operational bounds" in out
+        assert "X-ub" in out and "N-sat" in out
+        for name in ("LB8", "MB4", "MB8", "UB6"):
+            assert name in out
+
+
+def _tiny_result() -> ExperimentResult:
+    spec = ExperimentSpec(exp_id="t", title="tiny",
+                          workload_factory=mb4, sweep=(4,),
+                          sites_of_interest=("A",))
+    point = SweepPoint(n=4, site="A", model_xput=10.0,
+                       model_record_xput=20.0, model_cpu=0.5,
+                       model_dio=3.0, sim_xput=9.0,
+                       sim_record_xput=18.0, sim_cpu=0.45,
+                       sim_dio=2.8, sim_aborts_per_commit=0.1)
+    return ExperimentResult(spec=spec, points=(point,))
+
+
+class TestSummaryTableBounds:
+    def test_bounds_columns_appended(self):
+        plain = render_summary_table(_tiny_result())
+        with_bounds = render_summary_table(_tiny_result(), bounds=True)
+        assert "X-ub" not in plain
+        assert "X-ub" in with_bounds and "N-sat" in with_bounds
+        data_row = with_bounds.splitlines()[-1]
+        x_ub, n_sat = data_row.split("|")[-1].split()
+        assert float(x_ub) > 0
+        assert float(n_sat) > 1.0

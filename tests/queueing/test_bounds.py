@@ -1,12 +1,18 @@
 """Tests for the operational bounds module."""
 
+import math
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigurationError
-from repro.queueing.bounds import (asymptotic_bounds,
+from repro.queueing.bounds import (aggregate_mix_network,
+                                   asymptotic_bounds,
                                    balanced_job_bounds,
-                                   saturation_population)
+                                   bjb_saturation_population,
+                                   mix_bounds,
+                                   saturation_population,
+                                   saturation_window)
 from repro.queueing.centers import CenterKind, ServiceCenter
 from repro.queueing.mva_exact import solve_mva_exact
 from repro.queueing.network import ClosedNetwork
@@ -117,3 +123,125 @@ class TestSaturationPopulation:
         net = _net(0.3, 1.4, 0.0, 1)   # CPU ~0.3s, disk ~1.4s demand
         n_star = saturation_population(net, "t")
         assert 1.0 < n_star < 3.0
+
+
+class TestZeroDemandGuards:
+    def test_zero_queueing_demand_rejected(self):
+        """A chain whose queueing demands are all exactly zero raises
+        ConfigurationError, not ZeroDivisionError."""
+        net = ClosedNetwork(
+            centers=(
+                ServiceCenter("c", CenterKind.QUEUEING, {"t": 0.0}),
+                ServiceCenter("z", CenterKind.DELAY, {"t": 5.0}),
+            ),
+            populations={"t": 3},
+        )
+        for fn in (asymptotic_bounds, balanced_job_bounds,
+                   saturation_population, bjb_saturation_population):
+            with pytest.raises(ConfigurationError):
+                fn(net, "t")
+
+
+class TestSaturationWindow:
+    def test_bjb_crossing_never_earlier(self):
+        net = _net(1.0, 2.0, 3.0, 1)
+        lower, upper = saturation_window(net, "t")
+        assert lower == pytest.approx(saturation_population(net, "t"))
+        assert upper >= lower
+
+    @given(d1=demand, d2=demand, z=st.floats(0.0, 10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_window_ordered_everywhere(self, d1, d2, z):
+        lower, upper = saturation_window(_net(d1, d2, z, 1), "t")
+        assert lower <= upper + 1e-9
+
+    def test_balanced_network_upper_is_infinite(self):
+        """A perfectly balanced network with no think time only
+        reaches capacity asymptotically."""
+        lower, upper = saturation_window(_net(1.0, 1.0, 0.0, 1), "t")
+        assert lower == pytest.approx(2.0)
+        assert upper == math.inf
+
+    def test_bjb_crossing_formula(self):
+        # D=3, Z=3, D_max=2, D_avg=1.5, c=1.5*3/6=0.75
+        net = _net(1.0, 2.0, 3.0, 1)
+        expected = (3.0 + 3.0 - 0.75) / (2.0 - 0.75)
+        assert bjb_saturation_population(net, "t") \
+            == pytest.approx(expected)
+
+
+class TestAggregateMix:
+    def _mix_net(self, n_a=2, n_b=4):
+        return ClosedNetwork(
+            centers=(
+                ServiceCenter("cpu", CenterKind.QUEUEING,
+                              {"a": 1.0, "b": 4.0}),
+                ServiceCenter("disk", CenterKind.QUEUEING,
+                              {"a": 2.0, "b": 0.5}),
+                ServiceCenter("z", CenterKind.DELAY,
+                              {"a": 3.0, "b": 6.0}),
+            ),
+            populations={"a": n_a, "b": n_b},
+        )
+
+    def test_population_weighted_demands(self):
+        aggregate = aggregate_mix_network(self._mix_net())
+        assert aggregate.populations == {"mix": 6}
+        by_name = {c.name: c for c in aggregate.centers}
+        assert by_name["cpu"].demand("mix") == pytest.approx(
+            (2 * 1.0 + 4 * 4.0) / 6)
+        assert by_name["disk"].demand("mix") == pytest.approx(
+            (2 * 2.0 + 4 * 0.5) / 6)
+        assert by_name["z"].demand("mix") == pytest.approx(
+            (2 * 3.0 + 4 * 6.0) / 6)
+        assert by_name["z"].kind is CenterKind.DELAY
+
+    def test_chain_subset(self):
+        aggregate = aggregate_mix_network(self._mix_net(),
+                                          chains=("a",))
+        assert aggregate.populations == {"mix": 2}
+        by_name = {c.name: c for c in aggregate.centers}
+        assert by_name["cpu"].demand("mix") == pytest.approx(1.0)
+
+    def test_unknown_chain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_mix_network(self._mix_net(), chains=("ghost",))
+
+    def test_empty_mix_rejected(self):
+        net = ClosedNetwork(
+            centers=(ServiceCenter("c", CenterKind.QUEUEING,
+                                   {"a": 1.0}),),
+            populations={"a": 0},
+        )
+        with pytest.raises(ConfigurationError):
+            aggregate_mix_network(net)
+
+    def test_zero_demand_mix_rejected(self):
+        net = ClosedNetwork(
+            centers=(
+                ServiceCenter("c", CenterKind.QUEUEING, {"a": 0.0}),
+                ServiceCenter("z", CenterKind.DELAY, {"a": 1.0}),
+            ),
+            populations={"a": 2},
+        )
+        with pytest.raises(ConfigurationError):
+            aggregate_mix_network(net)
+
+    def test_mix_bounds_reduce_to_single_chain(self):
+        """With one member chain the mix bounds are exactly the
+        chain's own balanced-job bounds."""
+        net = _net(1.0, 2.0, 3.0, 4)
+        mix = mix_bounds(net)
+        single = balanced_job_bounds(net, "t")
+        assert mix.population == single.population
+        assert mix.throughput_lower == pytest.approx(
+            single.throughput_lower)
+        assert mix.throughput_upper == pytest.approx(
+            single.throughput_upper)
+
+    def test_mix_bounds_contain_aggregate_exact(self):
+        aggregate = aggregate_mix_network(self._mix_net())
+        bounds = mix_bounds(self._mix_net())
+        sol = solve_mva_exact(aggregate)
+        assert bounds.contains_throughput(sol.throughput["mix"],
+                                          slack=1e-6)
