@@ -37,17 +37,35 @@ from repro.experiments.runner import ExperimentResult
 
 __all__ = [
     "BENCH_SCHEMA",
+    "KERNEL_SCHEMA",
     "SUITE",
     "BenchRecord",
+    "KernelBenchRecord",
     "run_suite",
+    "run_kernel_bench",
     "write_records",
     "load_records",
     "compare_records",
+    "write_kernel_record",
+    "load_kernel_record",
+    "compare_kernel_records",
     "main",
 ]
 
 #: Bump when the record layout changes incompatibly.
 BENCH_SCHEMA = 1
+
+#: Schema tag of the MVA-kernel microbenchmark record.  A *string*, so
+#: :func:`load_records` (which keys on ``schema == BENCH_SCHEMA``)
+#: never mistakes ``BENCH_kernels.json`` for an experiment record.
+KERNEL_SCHEMA = "kernel-1"
+
+#: Batch size of the kernel microbenchmark's stacked-grid solve.
+KERNEL_BATCH = 64
+
+#: Absolute slack for the microsecond-scale kernel timings (scheduler
+#: jitter; same role as :data:`TIME_NOISE_FLOOR_MS` for the suite).
+KERNEL_NOISE_FLOOR_US = 100.0
 
 #: Experiments benchmarked by the suite: one per figure/table family
 #: (fig5 covers the LB8 sweep behind Figures 5-7, fig8 the MB4 sweep
@@ -172,6 +190,166 @@ def run_suite(
     return records
 
 
+@dataclass(frozen=True)
+class KernelBenchRecord:
+    """MVA-kernel microbenchmark: single solves and the batched grid.
+
+    ``batch_speedup`` is the per-solve gain of one stacked
+    :func:`~repro.queueing.mva_approx.solve_mva_approx_batch` call over
+    looping :func:`~repro.queueing.mva_approx.solve_mva_approx` across
+    the same networks — the number the vectorized kernels exist for.
+    """
+
+    single_exact_us: float
+    single_approx_us: float
+    batch_size: int
+    batch_us: float
+    batch_per_solve_us: float
+    batch_speedup: float
+    name: str = "kernels"
+    schema: str = KERNEL_SCHEMA
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "KernelBenchRecord":
+        known = set(cls.__dataclass_fields__)
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def _kernel_networks(batch: int):
+    """A deterministic site-shaped network grid for the microbenchmark:
+    three queueing + four delay centers, six chains, populations
+    cycling 1-4 across the batch (the paper's site networks are this
+    shape and size)."""
+    from repro.queueing.centers import CenterKind, ServiceCenter
+    from repro.queueing.network import ClosedNetwork
+
+    chains = tuple(f"w{k}" for k in range(6))
+    centers = []
+    for ci, cname in enumerate(("cpu", "disk", "log")):
+        demands = {ch: 0.8 + 0.21 * ci + 0.09 * ki
+                   for ki, ch in enumerate(chains)}
+        centers.append(ServiceCenter(cname, CenterKind.QUEUEING, demands))
+    for di, cname in enumerate(("lw", "rw", "cw", "ut")):
+        demands = {ch: 5.0 + 1.7 * di + 0.33 * ki
+                   for ki, ch in enumerate(chains)}
+        centers.append(ServiceCenter(cname, CenterKind.DELAY, demands))
+    return [
+        ClosedNetwork(
+            centers=tuple(centers),
+            populations={ch: 1 + (b + ki) % 4
+                         for ki, ch in enumerate(chains)},
+        )
+        for b in range(batch)
+    ]
+
+
+def run_kernel_bench(
+    batch: int = KERNEL_BATCH, repeats: int = 3
+) -> KernelBenchRecord:
+    """Time the MVA kernels: one exact solve, a Schweitzer loop over
+    *batch* networks, and the same batch as one stacked call.
+
+    Timings take the best of *repeats* repetitions (noise only ever
+    slows a run down); the loop and the batch solve the *same*
+    networks, so the speedup is a like-for-like comparison through the
+    public dict-based adapters.
+    """
+    from repro.queueing.mva_approx import (solve_mva_approx,
+                                           solve_mva_approx_batch)
+    from repro.queueing.mva_exact import solve_mva_exact
+
+    networks = _kernel_networks(batch)
+    best_exact = best_loop = best_batch = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        solve_mva_exact(networks[0])
+        t1 = time.perf_counter()
+        best_exact = min(best_exact, (t1 - t0) * 1e6)
+
+        t0 = time.perf_counter()
+        for network in networks:
+            solve_mva_approx(network)
+        t1 = time.perf_counter()
+        best_loop = min(best_loop, (t1 - t0) * 1e6 / batch)
+
+        t0 = time.perf_counter()
+        solve_mva_approx_batch(networks)
+        t1 = time.perf_counter()
+        best_batch = min(best_batch, (t1 - t0) * 1e6)
+
+    per_solve = best_batch / batch
+    return KernelBenchRecord(
+        single_exact_us=best_exact,
+        single_approx_us=best_loop,
+        batch_size=batch,
+        batch_us=best_batch,
+        batch_per_solve_us=per_solve,
+        batch_speedup=best_loop / per_solve,
+    )
+
+
+def write_kernel_record(
+    record: KernelBenchRecord, directory: str | os.PathLike
+) -> Path:
+    """Write ``BENCH_kernels.json``; return the path."""
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{record.name}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_kernel_record(
+    directory: str | os.PathLike,
+) -> KernelBenchRecord | None:
+    """Load ``BENCH_kernels.json`` from *directory*, if present."""
+    path = Path(directory) / "BENCH_kernels.json"
+    if not path.is_file():
+        return None
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("schema") != KERNEL_SCHEMA:
+        return None
+    return KernelBenchRecord.from_dict(data)
+
+
+def compare_kernel_records(
+    current: KernelBenchRecord,
+    baseline: KernelBenchRecord,
+    time_tolerance: float = 0.25,
+) -> list[str]:
+    """Regression messages for the kernel microbenchmark (empty =
+    pass): per-solve timings must not exceed the baseline by more than
+    *time_tolerance* plus the noise floor, and the batch speedup must
+    not fall more than *time_tolerance* below it."""
+    problems: list[str] = []
+    for metric in ("single_exact_us", "single_approx_us",
+                   "batch_per_solve_us"):
+        value = getattr(current, metric)
+        ref = getattr(baseline, metric)
+        if ref <= 0:
+            continue
+        if value > ref * (1.0 + time_tolerance) + KERNEL_NOISE_FLOOR_US:
+            problems.append(
+                f"kernels: {metric} regressed {value:.1f} vs baseline "
+                f"{ref:.1f} (+{100.0 * (value / ref - 1.0):.0f}%, "
+                f"allowed +{100.0 * time_tolerance:.0f}%)"
+            )
+    if current.batch_speedup \
+            < baseline.batch_speedup * (1.0 - time_tolerance):
+        problems.append(
+            f"kernels: batch_speedup regressed "
+            f"{current.batch_speedup:.1f}x vs baseline "
+            f"{baseline.batch_speedup:.1f}x"
+        )
+    return problems
+
+
 def write_records(
     records: list[BenchRecord], directory: str | os.PathLike
 ) -> list[Path]:
@@ -285,6 +463,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--suite", nargs="+", default=list(SUITE), help="experiment ids to benchmark"
     )
+    parser.add_argument(
+        "--no-kernels",
+        action="store_true",
+        help="skip the MVA-kernel microbenchmark",
+    )
     args = parser.parse_args(argv)
 
     records = run_suite(tuple(args.suite))
@@ -296,12 +479,26 @@ def main(argv: list[str] | None = None) -> int:
             f"cache hit rate {record.cache_hit_rate:.2f}"
         )
         print(line)
+    kernel = None if args.no_kernels else run_kernel_bench()
+    if kernel is not None:
+        line = (
+            f"BENCH kernels: exact {kernel.single_exact_us:.0f} us, "
+            f"approx {kernel.single_approx_us:.0f} us, batched "
+            f"B={kernel.batch_size} {kernel.batch_per_solve_us:.0f} "
+            f"us/solve ({kernel.batch_speedup:.1f}x)"
+        )
+        print(line)
     if args.output_dir:
         for path in write_records(records, args.output_dir):
             print(f"wrote {path}")
+        if kernel is not None:
+            print(f"wrote {write_kernel_record(kernel, args.output_dir)}")
     if args.update_baseline:
         for path in write_records(records, args.baseline_dir):
             print(f"wrote {path}")
+        if kernel is not None:
+            print(
+                f"wrote {write_kernel_record(kernel, args.baseline_dir)}")
         return 0
     if args.check:
         baseline = load_records(args.baseline_dir)
@@ -318,6 +515,15 @@ def main(argv: list[str] | None = None) -> int:
             tolerance=args.tolerance,
             time_tolerance=args.time_tolerance,
         )
+        kernel_baseline = load_kernel_record(args.baseline_dir)
+        if kernel is not None and kernel_baseline is not None:
+            problems += compare_kernel_records(
+                kernel,
+                kernel_baseline,
+                time_tolerance=(args.time_tolerance
+                                if args.time_tolerance is not None
+                                else args.tolerance),
+            )
         for problem in problems:
             print(f"REGRESSION {problem}")
         if problems:

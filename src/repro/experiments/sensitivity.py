@@ -9,8 +9,12 @@ which parameters deserve careful measurement (paper §1's complaint that
 Each sweep chains its solves: every point warm-starts from the
 previous value's converged iterates (nearby parameter values have
 nearby fixed points), which cuts the iteration count the same way the
-experiment runner's ``--warm-start`` does.  Independent sweeps fan out
-across worker processes through :func:`run_sweeps`.
+experiment runner's ``--warm-start`` does.  Snapshots carry the inner
+Schweitzer queue iterates as array seeds too (see
+:meth:`~repro.model.solver.CaratModel.snapshot`), so for approximately
+solved sites both the outer contention loop *and* the inner MVA fixed
+point resume near their solutions.  Independent sweeps fan out across
+worker processes through :func:`run_sweeps`.
 """
 
 from __future__ import annotations
@@ -127,8 +131,10 @@ def run_sweep(request: SweepRequest,
               warm_start: bool = True) -> SensitivityResult:
     """Run one sweep, chaining warm starts along the value axis.
 
-    Module-level and picklable-by-reference, so :func:`run_sweeps`
-    can ship it to worker processes.
+    The chained snapshots include the inner-MVA queue-iterate seeds,
+    so each point resumes both fixed-point levels from the previous
+    value's solution.  Module-level and picklable-by-reference, so
+    :func:`run_sweeps` can ship it to worker processes.
     """
     points = []
     snapshot = None

@@ -20,6 +20,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.model import demands as demands_mod
 from repro.model import locking, remote
@@ -32,8 +34,9 @@ from repro.model.results import ChainResult, ModelSolution, SiteResult
 from repro.model.types import ChainType, Phase
 from repro.model.workload import WorkloadSpec
 from repro.queueing.centers import CenterKind, ServiceCenter
-from repro.queueing.mva_approx import solve_mva_approx
-from repro.queueing.mva_exact import mva_cost, solve_mva_exact
+from repro.queueing.kernels import (NetworkArrays, assemble_solution,
+                                    initial_queue, solve_exact_batch,
+                                    solve_schweitzer_batch)
 from repro.queueing.network import ClosedNetwork, NetworkSolution
 
 __all__ = ["ModelConfig", "CaratModel", "solve_model", "WarmStart"]
@@ -56,6 +59,12 @@ _WARM_FIELDS = (
 
 #: A converged-iterate snapshot: ``{(site, chain value): {field: value}}``.
 WarmStart = dict[tuple[str, str], dict[str, float]]
+
+#: Pseudo-site tag under which :meth:`CaratModel.snapshot` carries the
+#: per-site Schweitzer queue iterates (``{(tag, site): {"center|chain":
+#: queue length}}``).  Chain *values* can never equal the tag, so these
+#: entries are invisible to the per-chain warm-start lookup.
+_MVA_QUEUE_SITE = "__mva_queue__"
 
 
 @dataclass(frozen=True)
@@ -192,6 +201,19 @@ class CaratModel:
         self._populations: dict[str, dict[ChainType, int]] = {}
         self._warm_start = warm_start
         self._diag = diagnostics
+        # Last Schweitzer queue iterate per site — ``(queueing-center
+        # names, chain names, (Cq, K) array)`` — carried across outer
+        # iterations (and via snapshots, across solves) as the inner
+        # fixed point's warm start.
+        self._mva_queues: dict[
+            str, tuple[tuple[str, ...], tuple[str, ...], np.ndarray]] = {}
+        self._queue_seeds: dict[str, dict[str, float]] = {}
+        if warm_start:
+            self._queue_seeds = {
+                site: dict(values)
+                for (tag, site), values in warm_start.items()
+                if tag == _MVA_QUEUE_SITE
+            }
         self._init_state()
 
     # ------------------------------------------------------------------
@@ -247,12 +269,26 @@ class CaratModel:
         return warmed
 
     def snapshot(self) -> WarmStart:
-        """Current iterate values, for warm-starting a nearby solve."""
-        return {
+        """Current iterate values, for warm-starting a nearby solve.
+
+        Besides the per-chain iterate fields, the snapshot carries the
+        inner Schweitzer queue iterates of any approximately solved
+        sites (under the :data:`_MVA_QUEUE_SITE` pseudo-site tag), so a
+        warm-started nearby solve seeds the inner MVA fixed point too,
+        not just the outer contention loop.
+        """
+        snap: WarmStart = {
             (site, chain.value): {name: getattr(state, name)
                                   for name in _WARM_FIELDS}
             for (site, chain), state in self._state.items()
         }
+        for site, (qnames, chains, queue) in self._mva_queues.items():
+            snap[(_MVA_QUEUE_SITE, site)] = {
+                f"{center}|{chain}": float(queue[ci, ki])
+                for ci, center in enumerate(qnames)
+                for ki, chain in enumerate(chains)
+            }
+        return snap
 
     def site_network(self, site_name: str) -> ClosedNetwork:
         """The site's closed network built from the current iterates.
@@ -381,20 +417,146 @@ class CaratModel:
             centers.append(ServiceCenter("tms", CenterKind.DELAY, tms))
         return ClosedNetwork(centers=tuple(centers), populations=chains)
 
-    def _solve_site(self, network: ClosedNetwork,
-                    mva_stats: dict[str, int] | None = None
-                    ) -> NetworkSolution:
-        mode = self.config.mva
-        if mode == "auto":
-            mode = ("exact" if mva_cost(network) <= _EXACT_LATTICE_BUDGET
-                    else "approx")
+    def _site_arrays(self, site_name: str) -> NetworkArrays:
+        """Dense array form of :meth:`_site_network`.
+
+        Same center order and same (sorted) active chains, built
+        straight from the iterate state without the intermediate
+        :class:`ClosedNetwork` dict structure.
+        """
+        site = self.sites[site_name]
+        items = sorted(
+            ((chain.value, state)
+             for (s, chain), state in self._state.items()
+             if s == site_name),
+            key=lambda item: item[0],
+        )
+        chains = tuple(name for name, _ in items)
+        populations = np.array([state.population for _, state in items],
+                               dtype=np.int64)
+        rows: list[tuple[str, bool, list[float]]] = [
+            ("cpu", False, [st.demands.cpu_ms for _, st in items]),
+            ("disk", False, [st.demands.db_disk_ms for _, st in items]),
+            ("lw", True, [st.lw_demand_ms for _, st in items]),
+            ("rw", True, [st.rw_demand_ms for _, st in items]),
+            ("cw", True, [st.cw_demand_ms for _, st in items]),
+            ("ut", True, [st.ut_demand_ms for _, st in items]),
+        ]
+        if site.log_on_separate_disk:
+            rows.insert(2, ("logdisk", False,
+                            [st.demands.log_disk_ms for _, st in items]))
+        if self.config.model_tm_serialization:
+            rows.append(("tms", True,
+                         [st.tm_messages * st.r_tms for _, st in items]))
+        demands = np.array(
+            [r[2] for r in rows], dtype=np.float64,
+        ).reshape(len(rows), len(chains))
+        return NetworkArrays(
+            demands=demands,
+            delay=np.array([r[1] for r in rows], dtype=bool),
+            populations=populations,
+            centers=tuple(r[0] for r in rows),
+            chains=chains,
+        )
+
+    def _solve_sites(self, mva_stats: dict[str, int] | None = None
+                     ) -> dict[str, NetworkSolution]:
+        """Step 2 of the iteration, batched: solve every site network.
+
+        Sites sharing a center/chain layout (and, for exact MVA, a
+        population vector — symmetric sites always do) are stacked and
+        solved in one vectorized kernel call instead of one Python-loop
+        solve per site.  Schweitzer solves warm-start from the previous
+        outer iteration's queue iterate (or a warm-start snapshot's),
+        which typically cuts the inner iteration count: the outer loop
+        moves the demands only slightly between iterations, so the old
+        inner fixed point is a near-solution of the new one.
+        """
+        arrays = {name: self._site_arrays(name)
+                  for name in self.workload.sites}
         if mva_stats is not None:
-            mva_stats["solves"] += 1
-        if mode == "exact":
+            mva_stats["solves"] += len(arrays)
+        exact_groups: dict[tuple, list[str]] = {}
+        approx_groups: dict[tuple, list[str]] = {}
+        for name, a in arrays.items():
+            mode = self.config.mva
+            if mode == "auto":
+                mode = ("exact" if a.lattice_size <= _EXACT_LATTICE_BUDGET
+                        else "approx")
+            if mode == "exact":
+                key = (a.centers, a.chains, tuple(a.delay),
+                       tuple(a.populations))
+                exact_groups.setdefault(key, []).append(name)
+            else:
+                key = (a.centers, a.chains, tuple(a.delay))
+                approx_groups.setdefault(key, []).append(name)
+
+        solutions: dict[str, NetworkSolution] = {}
+        for names in exact_groups.values():
+            head = arrays[names[0]]
+            stack = np.stack([arrays[n].demands for n in names])
+            X, R = solve_exact_batch(stack, head.delay, head.populations)
             if mva_stats is not None:
-                mva_stats["lattice"] += mva_cost(network)
-            return solve_mva_exact(network)
-        return solve_mva_approx(network, stats=mva_stats)
+                mva_stats["lattice"] += head.lattice_size * len(names)
+            for i, n in enumerate(names):
+                solutions[n] = assemble_solution(arrays[n], X[i], R[i])
+        for names in approx_groups.values():
+            head = arrays[names[0]]
+            stack = np.stack([arrays[n].demands for n in names])
+            pops = np.stack([arrays[n].populations for n in names])
+            result = solve_schweitzer_batch(
+                stack, head.delay, pops,
+                q0=self._queue_warm_start(names, arrays, stack, head, pops))
+            if mva_stats is not None:
+                mva_stats["inner"] += int(result.iterations.sum())
+            if not result.converged.all():
+                bad = int(np.argmax(~result.converged))
+                raise ConvergenceError(
+                    f"Schweitzer MVA did not converge for site "
+                    f"{names[bad]!r}",
+                    iterations=int(result.iterations[bad]),
+                    residual=float(result.residual[bad]),
+                )
+            qnames = tuple(c for c, is_delay
+                           in zip(head.centers, head.delay) if not is_delay)
+            for i, n in enumerate(names):
+                solutions[n] = assemble_solution(
+                    arrays[n], result.throughput[i], result.residence[i])
+                self._mva_queues[n] = (qnames, arrays[n].chains,
+                                       result.queue[i])
+        return solutions
+
+    def _queue_warm_start(self, names, arrays, stack, head, pops):
+        """The ``q0`` stack for one Schweitzer group, or None.
+
+        Prefers this solve's previous outer-iteration queue iterate;
+        falls back to a warm-start snapshot's entries; missing sites
+        (or entries whose layout changed) keep the kernel's default
+        initialization.  Entries are masked to visited (demand > 0)
+        center/chain pairs, so a stale seed can never park customers
+        at a center the chain no longer uses.
+        """
+        if not self._mva_queues and not self._queue_seeds:
+            return None
+        qnames = tuple(c for c, is_delay
+                       in zip(head.centers, head.delay) if not is_delay)
+        q0 = initial_queue(stack, head.delay, pops)
+        for i, name in enumerate(names):
+            prev = self._mva_queues.get(name)
+            if (prev is not None and prev[0] == qnames
+                    and prev[1] == arrays[name].chains):
+                q0[i] = prev[2]
+                continue
+            seed = self._queue_seeds.get(name)
+            if not seed:
+                continue
+            for ci, center in enumerate(qnames):
+                for ki, chain in enumerate(arrays[name].chains):
+                    value = seed.get(f"{center}|{chain}")
+                    if value is not None:
+                        q0[i, ci, ki] = value
+        q0[stack[:, ~head.delay, :] <= 0.0] = 0.0
+        return q0
 
     def _chain_items(self, site_name: str):
         for (s, chain), state in self._state.items():
@@ -654,8 +816,7 @@ class CaratModel:
             for key, state in self._state.items():
                 self._rebuild_demands(key[0], key[1], state)
 
-            solutions = {name: self._solve_site(self._site_network(name))
-                         for name in self.workload.sites}
+            solutions = self._solve_sites()
 
             residual = self._absorb_solutions(solutions)
             self._update_abort_probabilities()
@@ -697,10 +858,7 @@ class CaratModel:
             t1 = clock()
 
             mva_stats = {"solves": 0, "inner": 0, "lattice": 0}
-            solutions = {
-                name: self._solve_site(self._site_network(name), mva_stats)
-                for name in self.workload.sites
-            }
+            solutions = self._solve_sites(mva_stats)
             t2 = clock()
 
             # The damped iterate fields only move during the update

@@ -31,6 +31,8 @@ from __future__ import annotations
 import math
 from dataclasses import replace
 
+import numpy as np
+
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.model.open_solver import OpenWorkload, solve_open_model
 from repro.model.parameters import SiteParameters
@@ -41,6 +43,7 @@ from repro.planner.spec import MplPoint, OptimumResult, SaturationWindow
 from repro.queueing.bounds import (aggregate_mix_network,
                                    bjb_saturation_population,
                                    saturation_population)
+from repro.queueing.kernels import NetworkArrays, solve_schweitzer_batch
 
 __all__ = ["mix_quantum", "scale_to_mpl", "mpl_grid", "PlanEvaluator",
            "find_optimum", "brute_force_optimum", "slo_max_mpl",
@@ -48,6 +51,11 @@ __all__ = ["mix_quantum", "scale_to_mpl", "mpl_grid", "PlanEvaluator",
 
 #: Throughput drop (relative to the peak) that counts as thrashing.
 KNEE_DROP = 0.05
+
+#: Zero-conflict bottleneck utilization treated as "saturated" by the
+#: grid pre-screen (just under 1.0: the Schweitzer curve approaches
+#: saturation asymptotically).
+ZERO_CONFLICT_SATURATION = 0.95
 
 
 def _site_quantum(counts: dict) -> int:
@@ -229,6 +237,45 @@ class PlanEvaluator:
                                 lower=lower, upper=upper,
                                 binding=binding)
 
+    def zero_conflict_curve(self, grid: tuple[int, ...]
+                            ) -> dict[int, float]:
+        """Zero-conflict bottleneck utilization per grid MPL.
+
+        Right after construction the model's site networks carry no
+        lock, remote or commit waits, and their demands do not depend
+        on the population — so the whole MPL grid differs only in its
+        population vectors.  That is exactly the shape
+        :func:`repro.queueing.kernels.solve_schweitzer_batch` stacks:
+        the curve costs one batched kernel call per site instead of
+        one network solve per (site, MPL) pair.
+
+        Returns ``{mpl: max over sites and queueing centers of the
+        zero-conflict utilization}`` — the cheap pre-screen
+        :func:`find_optimum` floors its search grid with.  Grid MPLs
+        must be multiples of the evaluator's quantum.
+        """
+        scaled = scale_to_mpl(self.workload, self.quantum)
+        model = CaratModel(ModelConfig(workload=scaled, sites=self.sites,
+                                       **self.model_kwargs))
+        utilization = dict.fromkeys(grid, 0.0)
+        factors = np.array([m // self.quantum for m in grid],
+                           dtype=np.int64)
+        for name in scaled.sites:
+            arrays = NetworkArrays.from_network(model.site_network(name))
+            if not arrays.chains:
+                continue
+            pops = arrays.populations[None, :] * factors[:, None]
+            demands = np.broadcast_to(
+                arrays.demands, (len(grid),) + arrays.demands.shape)
+            result = solve_schweitzer_batch(demands, arrays.delay, pops)
+            queueing_demands = arrays.demands[~arrays.delay, :]
+            for i, m in enumerate(grid):
+                util = (result.throughput[i][None, :]
+                        * queueing_demands).sum(axis=1)
+                top = float(util.max()) if util.size else 0.0
+                utilization[m] = max(utilization[m], top)
+        return utilization
+
     def point(self, mpl: int) -> MplPoint:
         """Converged measures at *mpl* (solved at most once)."""
         return self._entry(mpl)["point"]
@@ -310,7 +357,7 @@ def find_optimum(evaluator: PlanEvaluator,
     """
     grid = mpl_grid(evaluator.workload, mpl_max)
     if len(grid) > 3:
-        floor = _zero_conflict_floor(evaluator)
+        floor = _zero_conflict_floor(evaluator, grid)
         if floor is not None:
             # Keep one pre-floor point so the bracket still sees the
             # rising edge of the curve.
@@ -329,15 +376,28 @@ def find_optimum(evaluator: PlanEvaluator,
     return _optimum_result(evaluator, grid, best)
 
 
-def _zero_conflict_floor(evaluator: PlanEvaluator) -> float | None:
+def _zero_conflict_floor(evaluator: PlanEvaluator,
+                         grid: tuple[int, ...]) -> float | None:
     """Per-site MPL at which the mix saturates its physical bottleneck
     *ignoring all contention* — a cheap lower bound on the optimum
-    computed from demands alone (no fixed-point solve).
+    computed without any fixed-point solve.
 
-    Uses the model's site network right after construction (conflict
-    iterates zeroed), aggregated to a single class.  Returns ``None``
-    when the bound is unavailable (e.g. degenerate demands).
+    Prefers the batched zero-conflict curve
+    (:meth:`PlanEvaluator.zero_conflict_curve`): the first grid MPL
+    whose bottleneck utilization reaches
+    :data:`ZERO_CONFLICT_SATURATION`.  That point precedes the exact
+    saturation population, so the floor it yields trims the search
+    grid no harder than the analytic bound.  When no grid point gets
+    that close to saturation (or the curve is unavailable), falls
+    back to the analytic asymptote of the aggregated mix network.
     """
+    try:
+        curve = evaluator.zero_conflict_curve(grid)
+        for m in grid:
+            if curve[m] >= ZERO_CONFLICT_SATURATION:
+                return float(m)
+    except (ConfigurationError, ConvergenceError):
+        pass
     scaled = scale_to_mpl(evaluator.workload, evaluator.quantum)
     try:
         model = CaratModel(ModelConfig(workload=scaled,

@@ -17,7 +17,11 @@ from repro.queueing.centers import CenterKind, ServiceCenter
 from repro.queueing.convolution import solve_convolution
 from repro.queueing.ctmc import solve_ctmc
 from repro.queueing.ethernet import EthernetModel
-from repro.queueing.mva_approx import solve_mva_approx
+from repro.queueing.kernels import (BatchSolution, NetworkArrays,
+                                    solve_exact_batch,
+                                    solve_schweitzer_batch)
+from repro.queueing.mva_approx import (solve_mva_approx,
+                                       solve_mva_approx_batch)
 from repro.queueing.mva_exact import mva_cost, solve_mva_exact
 from repro.queueing.network import ClosedNetwork, NetworkSolution
 from repro.queueing.yao import expected_granules, yao_blocks
@@ -29,6 +33,11 @@ __all__ = [
     "NetworkSolution",
     "solve_mva_exact",
     "solve_mva_approx",
+    "solve_mva_approx_batch",
+    "NetworkArrays",
+    "BatchSolution",
+    "solve_exact_batch",
+    "solve_schweitzer_batch",
     "solve_convolution",
     "solve_ctmc",
     "mva_cost",

@@ -13,14 +13,29 @@ substitution.  Accuracy is typically within a few percent of exact MVA
 for the population sizes used in this package; the ablation benchmark
 ``benchmarks/test_bench_ablation_mva.py`` quantifies the gap on the
 paper's site model.
+
+The fixed point iterates in the vectorized NumPy kernel
+(:func:`repro.queueing.kernels.solve_schweitzer_batch`): the queue
+matrix updates as one damped whole-matrix step per iteration, and a
+whole batch of networks (an MPL grid, the model's per-site networks)
+solves in a single stacked call through
+:func:`solve_mva_approx_batch`.  Convergence is measured on the
+*applied* (damped) queue-length step — the distance the stored iterate
+actually moved — so small ``damping`` values cannot declare
+convergence while the iterate is still drifting.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ConvergenceError
+from repro.queueing.kernels import (BatchSolution, NetworkArrays,
+                                    assemble_solution,
+                                    solve_schweitzer_batch)
 from repro.queueing.network import ClosedNetwork, NetworkSolution
 
-__all__ = ["solve_mva_approx"]
+__all__ = ["solve_mva_approx", "solve_mva_approx_batch"]
 
 
 def solve_mva_approx(
@@ -37,114 +52,147 @@ def solve_mva_approx(
     network:
         The closed network to solve.
     tolerance:
-        Convergence threshold on the max-norm change of per-center,
-        per-chain queue lengths between iterations.
+        Convergence threshold on the max-norm of the applied (damped)
+        per-center, per-chain queue-length step between iterations.
     max_iterations:
         Iteration budget before raising :class:`ConvergenceError`.
+        Must be at least 1; a non-positive budget raises
+        :class:`ConvergenceError` up front (``iterations=0``) instead
+        of attempting a solve.
     damping:
         Weight of the new iterate in the damped update
         (1.0 = undamped).
     stats:
         Optional mutable counter dict (solver diagnostics): the number
         of inner fixed-point iterations performed is *added* to its
-        ``"inner"`` key.
+        ``"inner"`` key — on failed solves too, before the error is
+        raised.
 
     Returns
     -------
     NetworkSolution
         Approximate steady-state measures.
+
+    Raises
+    ------
+    ConvergenceError
+        When the budget is non-positive or exhausted; the error
+        carries the performed iteration count and last residual.
     """
-    chains = network.active_chains
-    centers = network.centers
-    queueing = {c.name for c in network.queueing_centers()}
-    populations = {k: network.populations[k] for k in chains}
-    demands = {(c.name, k): c.demand(k) for c in centers for k in chains}
-
-    # Initial guess: spread each chain evenly over the queueing centers
-    # it actually visits.
-    queue: dict[tuple[str, str], float] = {}
-    for k in chains:
-        visited = [c for c in centers
-                   if c.name in queueing and demands[(c.name, k)] > 0]
-        share = populations[k] / max(1, len(visited)) if visited else 0.0
-        for c in centers:
-            if c.name in queueing:
-                queue[(c.name, k)] = share if c in visited else 0.0
-
-    throughput: dict[str, float] = {k: 0.0 for k in chains}
-    residence: dict[tuple[str, str], float] = {}
-
-    for iteration in range(max_iterations):
-        new_queue: dict[tuple[str, str], float] = {}
-        residence = {}
-        for k in chains:
-            n_k = populations[k]
-            total_r = 0.0
-            for center in centers:
-                d = demands[(center.name, k)]
-                if d == 0.0:
-                    continue
-                if center.is_delay:
-                    r = d
-                else:
-                    arrival_q = 0.0
-                    for j in chains:
-                        q = queue[(center.name, j)]
-                        if j == k:
-                            q *= (n_k - 1) / n_k
-                        arrival_q += q
-                    r = d * (1.0 + arrival_q)
-                residence[(center.name, k)] = r
-                total_r += r
-            throughput[k] = n_k / total_r if total_r > 0 else 0.0
-            for center_name in queueing:
-                r = residence.get((center_name, k), 0.0)
-                new_queue[(center_name, k)] = throughput[k] * r
-
-        delta = max(
-            (abs(new_queue[key] - queue[key]) for key in queue),
-            default=0.0,
-        )
-        for key in queue:
-            queue[key] = (1 - damping) * queue[key] + damping * new_queue[key]
-        if delta < tolerance:
-            break
-    else:
+    _validate_budget(max_iterations, stats)
+    arrays = NetworkArrays.from_network(network)
+    result = solve_schweitzer_batch(
+        arrays.demands, arrays.delay, arrays.populations,
+        tolerance=tolerance, max_iterations=max_iterations,
+        damping=damping)
+    iterations = int(result.iterations[0])
+    if stats is not None:
+        stats["inner"] = stats.get("inner", 0) + iterations
+    if not bool(result.converged[0]):
         raise ConvergenceError(
             "Schweitzer MVA did not converge",
-            iterations=max_iterations, residual=delta,
+            iterations=iterations, residual=float(result.residual[0]),
+        )
+    return assemble_solution(
+        arrays, result.throughput[0], result.residence[0],
+        all_chains=network.chains, all_populations=network.populations)
+
+
+def solve_mva_approx_batch(
+    networks: list[ClosedNetwork],
+    tolerance: float = 1e-8,
+    max_iterations: int = 10_000,
+    damping: float = 0.5,
+    stats: dict | None = None,
+    raise_on_nonconvergence: bool = True,
+) -> list[NetworkSolution]:
+    """Solve a batch of closed networks as one stacked tensor operation.
+
+    All networks must share the same center layout (names, order and
+    delay/queueing kinds) and the same active-chain names — the shape
+    an MPL grid, a what-if fan-out or the model's symmetric sites
+    naturally have.  Populations and demands may differ freely per
+    network; zero-population chains are allowed (their measures are
+    reported as zero), so heterogeneous grids can be stacked by
+    padding a chain's population down to zero.
+
+    Parameters are as in :func:`solve_mva_approx`; ``stats["inner"]``
+    accumulates the summed per-network iteration counts.  With
+    ``raise_on_nonconvergence=False`` unconverged entries return their
+    last iterate instead of raising.
+
+    Returns the per-network :class:`NetworkSolution` list, in input
+    order.  Solutions are identical (up to float rounding of the
+    shared tensor reductions) to mapping :func:`solve_mva_approx` over
+    the batch — ``tests/queueing/test_kernels.py`` pins that
+    agreement.
+
+    Raises
+    ------
+    ConfigurationError
+        When the batch is empty or the networks do not share a layout.
+    ConvergenceError
+        When any entry fails to converge (unless suppressed).
+    """
+    from repro.errors import ConfigurationError
+
+    if not networks:
+        raise ConfigurationError("batch solve needs at least one network")
+    _validate_budget(max_iterations, stats)
+    arrays = [NetworkArrays.from_network(n) for n in networks]
+    head = arrays[0]
+    layout = (head.centers, tuple(head.delay), head.chains)
+    for a in arrays[1:]:
+        if (a.centers, tuple(a.delay), a.chains) != layout:
+            raise ConfigurationError(
+                "batched MVA needs a uniform center/chain layout; "
+                f"got {a.centers}/{a.chains} vs "
+                f"{head.centers}/{head.chains}"
+            )
+    demands = np.stack([a.demands for a in arrays])
+    populations = np.stack([a.populations for a in arrays])
+    result = solve_schweitzer_batch(
+        demands, head.delay, populations,
+        tolerance=tolerance, max_iterations=max_iterations,
+        damping=damping)
+    if stats is not None:
+        stats["inner"] = stats.get("inner", 0) \
+            + int(result.iterations.sum())
+    if raise_on_nonconvergence and not result.converged.all():
+        bad = int(np.argmax(~result.converged))
+        raise ConvergenceError(
+            f"Schweitzer MVA did not converge for batch entry {bad}",
+            iterations=int(result.iterations[bad]),
+            residual=float(result.residual[bad]),
+        )
+    return [
+        assemble_solution(
+            a, result.throughput[i], result.residence[i],
+            all_chains=networks[i].chains,
+            all_populations=networks[i].populations)
+        for i, a in enumerate(arrays)
+    ]
+
+
+def _validate_budget(max_iterations: int, stats: dict | None) -> None:
+    """Reject a non-positive iteration budget before any work.
+
+    Mirrors :class:`repro.model.solver.ModelConfig`'s eager
+    ``max_iterations`` validation, but raises
+    :class:`ConvergenceError` (budget exhausted before the first
+    iteration) so callers that treat non-convergence uniformly keep
+    working.
+    """
+    if max_iterations < 1:
+        if stats is not None:
+            stats["inner"] = stats.get("inner", 0)
+        raise ConvergenceError(
+            f"Schweitzer MVA needs max_iterations >= 1, "
+            f"got {max_iterations}",
+            iterations=0, residual=None,
         )
 
-    if stats is not None:
-        stats["inner"] = stats.get("inner", 0) + iteration + 1
-    return _assemble(network, chains, demands, throughput, residence)
 
-
-def _assemble(
-    network: ClosedNetwork,
-    chains: tuple[str, ...],
-    demands: dict[tuple[str, str], float],
-    throughput: dict[str, float],
-    residence: dict[tuple[str, str], float],
-) -> NetworkSolution:
-    """Build a :class:`NetworkSolution` from converged iterates."""
-    full_throughput = {k: throughput.get(k, 0.0) for k in network.chains}
-    response_time: dict[str, float] = {}
-    queue_length: dict[tuple[str, str], float] = {}
-    utilization: dict[tuple[str, str], float] = {}
-    for k in network.chains:
-        x = full_throughput[k]
-        response_time[k] = network.populations[k] / x if x > 0 else 0.0
-    for center in network.centers:
-        for k in chains:
-            r = residence.get((center.name, k), 0.0)
-            x = full_throughput[k]
-            queue_length[(center.name, k)] = x * r
-            utilization[(center.name, k)] = x * demands[(center.name, k)]
-    return NetworkSolution(
-        throughput=full_throughput,
-        response_time=response_time,
-        queue_length=queue_length,
-        residence_time=residence,
-        utilization=utilization,
-    )
+# Re-exported for callers that build stacks directly from arrays
+# (the model's per-site solver, the planner's grid pre-screen).
+__all__ += ["BatchSolution"]

@@ -14,13 +14,21 @@ lattice of population vectors.  For a network with chains
 Cost is ``O(C * K * prod_k (N_k + 1))``, which is exactly what the
 paper's site model needs: six chains with populations of one to four
 customers each.
+
+The recursion itself runs in the vectorized NumPy kernel
+(:func:`repro.queueing.kernels.solve_exact_batch`): all lattice points
+with the same total population update in one whole-array step, and the
+lattice traversal order is cached across calls.  This module is the
+dict-based adapter around it; the original pure-Python loop survives as
+:func:`repro.queueing.mva_reference.reference_mva_exact` for the
+equivalence tests.
 """
 
 from __future__ import annotations
 
-import itertools
-
 from repro.errors import ConfigurationError
+from repro.queueing.kernels import (NetworkArrays, assemble_solution,
+                                    solve_exact_batch)
 from repro.queueing.network import ClosedNetwork, NetworkSolution
 
 __all__ = ["solve_mva_exact", "mva_cost"]
@@ -57,97 +65,15 @@ def solve_mva_exact(network: ClosedNetwork) -> NetworkSolution:
     ConfigurationError
         If the population lattice exceeds :data:`MAX_LATTICE_SIZE`.
     """
-    chains = network.active_chains
     lattice = mva_cost(network)
     if lattice > MAX_LATTICE_SIZE:
         raise ConfigurationError(
             f"exact MVA lattice has {lattice} population vectors "
             f"(> {MAX_LATTICE_SIZE}); use approximate MVA instead"
         )
-
-    centers = network.centers
-    queueing = [c.name for c in network.queueing_centers()]
-    demands = {
-        (c.name, k): c.demand(k) for c in centers for k in chains
-    }
-    populations = [network.populations[k] for k in chains]
-
-    # queue_lengths[n] maps center name -> total mean queue length at
-    # population vector n (only queueing centers are tracked; delay
-    # centers never feed back into the recursion).
-    zero = tuple(0 for _ in chains)
-    queue_lengths: dict[tuple[int, ...], dict[str, float]] = {
-        zero: {c: 0.0 for c in queueing}
-    }
-
-    throughput: dict[str, float] = {k: 0.0 for k in network.chains}
-    residence: dict[tuple[str, str], float] = {}
-
-    final = tuple(populations)
-    # itertools.product with ranges yields vectors in lexicographic
-    # order, so n - e_k is always computed before n.
-    for n in itertools.product(*(range(p + 1) for p in populations)):
-        if n == zero:
-            continue
-        q_here: dict[str, float] = {c: 0.0 for c in queueing}
-        x_here: dict[str, float] = {}
-        r_here: dict[tuple[str, str], float] = {}
-        for ki, k in enumerate(chains):
-            if n[ki] == 0:
-                continue
-            n_minus = tuple(v - 1 if i == ki else v for i, v in enumerate(n))
-            q_prev = queue_lengths[n_minus]
-            total_r = 0.0
-            for center in centers:
-                d = demands[(center.name, k)]
-                if d == 0.0:
-                    continue
-                if center.is_delay:
-                    r = d
-                else:
-                    r = d * (1.0 + q_prev[center.name])
-                r_here[(center.name, k)] = r
-                total_r += r
-            x = n[ki] / total_r
-            x_here[k] = x
-            for center_name in queueing:
-                r = r_here.get((center_name, k), 0.0)
-                q_here[center_name] += x * r
-        queue_lengths[n] = q_here
-        if n == final:
-            throughput.update(x_here)
-            residence = r_here
-
-    return _assemble_solution(network, chains, demands, throughput,
-                              residence)
-
-
-def _assemble_solution(
-    network: ClosedNetwork,
-    chains: tuple[str, ...],
-    demands: dict[tuple[str, str], float],
-    throughput: dict[str, float],
-    residence: dict[tuple[str, str], float],
-) -> NetworkSolution:
-    """Fill in the derived measures from throughputs and residences."""
-    response_time: dict[str, float] = {}
-    queue_length: dict[tuple[str, str], float] = {}
-    utilization: dict[tuple[str, str], float] = {}
-    for k in network.chains:
-        if k not in chains or throughput[k] == 0.0:
-            response_time[k] = 0.0
-            continue
-        response_time[k] = network.populations[k] / throughput[k]
-    for center in network.centers:
-        for k in chains:
-            r = residence.get((center.name, k), 0.0)
-            x = throughput[k]
-            queue_length[(center.name, k)] = x * r
-            utilization[(center.name, k)] = x * demands[(center.name, k)]
-    return NetworkSolution(
-        throughput=throughput,
-        response_time=response_time,
-        queue_length=queue_length,
-        residence_time=residence,
-        utilization=utilization,
-    )
+    arrays = NetworkArrays.from_network(network)
+    throughput, residence = solve_exact_batch(
+        arrays.demands, arrays.delay, arrays.populations)
+    return assemble_solution(
+        arrays, throughput, residence,
+        all_chains=network.chains, all_populations=network.populations)

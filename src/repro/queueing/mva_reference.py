@@ -1,0 +1,198 @@
+"""Pure-Python reference MVA solvers (test oracle).
+
+These are the original dict-of-tuples implementations that the
+vectorized kernels (:mod:`repro.queueing.kernels`) replaced on the hot
+path.  They are kept verbatim — including the Schweitzer-loop
+correctness fixes (up-front iteration-budget validation, inner-work
+accounting on failure, damped-step convergence measure), which are
+applied here and in the kernels alike — so the property tests in
+``tests/queueing/test_kernels.py`` can assert that the array kernels
+agree with the straightforward loops within 1e-10 on randomized
+networks.
+
+Do not use these in production paths: they are O(Python-loop) slow by
+design.  The public API (:func:`repro.queueing.mva_exact.solve_mva_exact`,
+:func:`repro.queueing.mva_approx.solve_mva_approx`) routes through the
+kernels.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import ConvergenceError
+from repro.queueing.network import ClosedNetwork, NetworkSolution
+
+__all__ = ["reference_mva_exact", "reference_mva_approx"]
+
+
+def reference_mva_exact(network: ClosedNetwork) -> NetworkSolution:
+    """Exact multi-chain MVA as a plain lattice loop (no NumPy)."""
+    chains = network.active_chains
+    centers = network.centers
+    queueing = [c.name for c in network.queueing_centers()]
+    demands = {
+        (c.name, k): c.demand(k) for c in centers for k in chains
+    }
+    populations = [network.populations[k] for k in chains]
+
+    zero = tuple(0 for _ in chains)
+    queue_lengths: dict[tuple[int, ...], dict[str, float]] = {
+        zero: {c: 0.0 for c in queueing}
+    }
+
+    throughput: dict[str, float] = {k: 0.0 for k in network.chains}
+    residence: dict[tuple[str, str], float] = {}
+
+    final = tuple(populations)
+    # itertools.product with ranges yields vectors in lexicographic
+    # order, so n - e_k is always computed before n.
+    for n in itertools.product(*(range(p + 1) for p in populations)):
+        if n == zero:
+            continue
+        q_here: dict[str, float] = {c: 0.0 for c in queueing}
+        x_here: dict[str, float] = {}
+        r_here: dict[tuple[str, str], float] = {}
+        for ki, k in enumerate(chains):
+            if n[ki] == 0:
+                continue
+            n_minus = tuple(v - 1 if i == ki else v for i, v in enumerate(n))
+            q_prev = queue_lengths[n_minus]
+            total_r = 0.0
+            for center in centers:
+                d = demands[(center.name, k)]
+                if d == 0.0:
+                    continue
+                if center.is_delay:
+                    r = d
+                else:
+                    r = d * (1.0 + q_prev[center.name])
+                r_here[(center.name, k)] = r
+                total_r += r
+            x = n[ki] / total_r if total_r > 0.0 else 0.0
+            x_here[k] = x
+            for center_name in queueing:
+                r = r_here.get((center_name, k), 0.0)
+                q_here[center_name] += x * r
+        queue_lengths[n] = q_here
+        if n == final:
+            throughput.update(x_here)
+            residence = r_here
+
+    return _assemble(network, chains, demands, throughput, residence)
+
+
+def reference_mva_approx(
+    network: ClosedNetwork,
+    tolerance: float = 1e-8,
+    max_iterations: int = 10_000,
+    damping: float = 0.5,
+    stats: dict | None = None,
+) -> NetworkSolution:
+    """Schweitzer-Bard fixed point as a plain dict loop (no NumPy)."""
+    if max_iterations < 1:
+        raise ConvergenceError(
+            f"Schweitzer MVA needs max_iterations >= 1, "
+            f"got {max_iterations}",
+            iterations=0, residual=None,
+        )
+    chains = network.active_chains
+    centers = network.centers
+    queueing = {c.name for c in network.queueing_centers()}
+    populations = {k: network.populations[k] for k in chains}
+    demands = {(c.name, k): c.demand(k) for c in centers for k in chains}
+
+    # Initial guess: spread each chain evenly over the queueing centers
+    # it actually visits.
+    queue: dict[tuple[str, str], float] = {}
+    for k in chains:
+        visited = [c for c in centers
+                   if c.name in queueing and demands[(c.name, k)] > 0]
+        share = populations[k] / max(1, len(visited)) if visited else 0.0
+        for c in centers:
+            if c.name in queueing:
+                queue[(c.name, k)] = share if c in visited else 0.0
+
+    throughput: dict[str, float] = {k: 0.0 for k in chains}
+    residence: dict[tuple[str, str], float] = {}
+
+    for iteration in range(max_iterations):
+        new_queue: dict[tuple[str, str], float] = {}
+        residence = {}
+        for k in chains:
+            n_k = populations[k]
+            total_r = 0.0
+            for center in centers:
+                d = demands[(center.name, k)]
+                if d == 0.0:
+                    continue
+                if center.is_delay:
+                    r = d
+                else:
+                    arrival_q = 0.0
+                    for j in chains:
+                        q = queue[(center.name, j)]
+                        if j == k:
+                            q *= (n_k - 1) / n_k
+                        arrival_q += q
+                    r = d * (1.0 + arrival_q)
+                residence[(center.name, k)] = r
+                total_r += r
+            throughput[k] = n_k / total_r if total_r > 0 else 0.0
+            for center_name in queueing:
+                r = residence.get((center_name, k), 0.0)
+                new_queue[(center_name, k)] = throughput[k] * r
+
+        # Convergence is measured on the *applied* (damped) step, the
+        # distance the stored iterate actually moved.
+        delta = 0.0
+        for key in queue:
+            applied = (1 - damping) * queue[key] \
+                + damping * new_queue[key]
+            step = abs(applied - queue[key])
+            if step > delta:
+                delta = step
+            queue[key] = applied
+        if delta < tolerance:
+            break
+    else:
+        if stats is not None:
+            stats["inner"] = stats.get("inner", 0) + max_iterations
+        raise ConvergenceError(
+            "Schweitzer MVA did not converge",
+            iterations=max_iterations, residual=delta,
+        )
+
+    if stats is not None:
+        stats["inner"] = stats.get("inner", 0) + iteration + 1
+    return _assemble(network, chains, demands, throughput, residence)
+
+
+def _assemble(
+    network: ClosedNetwork,
+    chains: tuple[str, ...],
+    demands: dict[tuple[str, str], float],
+    throughput: dict[str, float],
+    residence: dict[tuple[str, str], float],
+) -> NetworkSolution:
+    """Build a :class:`NetworkSolution` from converged iterates."""
+    full_throughput = {k: throughput.get(k, 0.0) for k in network.chains}
+    response_time: dict[str, float] = {}
+    queue_length: dict[tuple[str, str], float] = {}
+    utilization: dict[tuple[str, str], float] = {}
+    for k in network.chains:
+        x = full_throughput[k]
+        response_time[k] = network.populations[k] / x if x > 0 else 0.0
+    for center in network.centers:
+        for k in chains:
+            r = residence.get((center.name, k), 0.0)
+            x = full_throughput[k]
+            queue_length[(center.name, k)] = x * r
+            utilization[(center.name, k)] = x * demands[(center.name, k)]
+    return NetworkSolution(
+        throughput=full_throughput,
+        response_time=response_time,
+        queue_length=queue_length,
+        residence_time=residence,
+        utilization=utilization,
+    )

@@ -7,9 +7,13 @@ import pytest
 
 from repro.experiments import cache as cache_mod
 from repro.experiments import perf as perf_mod
-from repro.experiments.perf import (BENCH_SCHEMA, BenchRecord,
-                                    compare_records, load_records,
-                                    run_suite, write_records)
+from repro.experiments.perf import (BENCH_SCHEMA, KERNEL_SCHEMA,
+                                    BenchRecord, KernelBenchRecord,
+                                    compare_kernel_records,
+                                    compare_records, load_kernel_record,
+                                    load_records, run_kernel_bench,
+                                    run_suite, write_kernel_record,
+                                    write_records)
 
 
 @pytest.fixture(autouse=True)
@@ -28,6 +32,14 @@ def _record(name="fig5", **overrides):
                   iterations_by_n={"4": 40, "8": 60})
     kwargs.update(overrides)
     return BenchRecord(**kwargs)
+
+
+def _kernel_record(**overrides):
+    kwargs = dict(single_exact_us=500.0, single_approx_us=1_500.0,
+                  batch_size=64, batch_us=8_000.0,
+                  batch_per_solve_us=125.0, batch_speedup=12.0)
+    kwargs.update(overrides)
+    return KernelBenchRecord(**kwargs)
 
 
 class TestBenchRecord:
@@ -128,11 +140,70 @@ class TestRunSuite:
             record.model_iterations
 
 
+class TestKernelBench:
+    def test_record_round_trip(self):
+        record = _kernel_record()
+        clone = KernelBenchRecord.from_dict(record.to_dict())
+        assert clone == record
+        assert clone.schema == KERNEL_SCHEMA
+
+    def test_run_kernel_bench_populated(self):
+        record = run_kernel_bench(batch=4, repeats=1)
+        assert record.batch_size == 4
+        assert record.single_exact_us > 0.0
+        assert record.single_approx_us > 0.0
+        assert record.batch_per_solve_us == \
+            pytest.approx(record.batch_us / 4)
+        assert record.batch_speedup > 0.0
+
+    def test_write_load_round_trip(self, tmp_path):
+        record = _kernel_record()
+        path = write_kernel_record(record, tmp_path)
+        assert path.name == "BENCH_kernels.json"
+        assert load_kernel_record(tmp_path) == record
+
+    def test_load_ignores_wrong_schema(self, tmp_path):
+        data = _kernel_record().to_dict()
+        data["schema"] = "kernel-0"
+        (tmp_path / "BENCH_kernels.json").write_text(json.dumps(data))
+        assert load_kernel_record(tmp_path) is None
+
+    def test_suite_loader_skips_kernel_record(self, tmp_path):
+        """``load_records`` must never mistake the kernel record for an
+        experiment record (its schema is a different type entirely)."""
+        write_kernel_record(_kernel_record(), tmp_path)
+        write_records([_record()], tmp_path)
+        assert set(load_records(tmp_path)) == {"fig5"}
+
+    def test_compare_within_tolerance_passes(self):
+        current = _kernel_record(batch_per_solve_us=140.0,
+                                 batch_speedup=11.0)
+        assert compare_kernel_records(current, _kernel_record()) == []
+
+    def test_compare_flags_slow_per_solve(self):
+        current = _kernel_record(batch_per_solve_us=2_000.0)
+        problems = compare_kernel_records(current, _kernel_record())
+        assert any("batch_per_solve_us" in p for p in problems)
+
+    def test_compare_flags_lost_speedup(self):
+        current = _kernel_record(batch_speedup=2.0)
+        problems = compare_kernel_records(current, _kernel_record())
+        assert any("batch_speedup" in p for p in problems)
+
+    def test_noise_floor_absorbs_microsecond_jitter(self):
+        base = _kernel_record(single_exact_us=50.0)
+        current = _kernel_record(single_exact_us=120.0)
+        assert compare_kernel_records(current, base,
+                                      time_tolerance=0.01) == []
+
+
 class TestMain:
     @pytest.fixture
     def canned_suite(self, monkeypatch):
         monkeypatch.setattr(perf_mod, "run_suite",
                             lambda names, **kw: [_record()])
+        monkeypatch.setattr(perf_mod, "run_kernel_bench",
+                            lambda *a, **kw: _kernel_record())
 
     def test_update_then_check_passes(self, tmp_path, canned_suite,
                                       capsys):
@@ -151,6 +222,30 @@ class TestMain:
         out = tmp_path / "out"
         assert perf_mod.main(["--output-dir", str(out)]) == 0
         assert (out / "BENCH_fig5.json").is_file()
+        assert (out / "BENCH_kernels.json").is_file()
+
+    def test_no_kernels_skips_microbenchmark(self, tmp_path,
+                                             canned_suite):
+        out = tmp_path / "out"
+        assert perf_mod.main(["--no-kernels",
+                              "--output-dir", str(out)]) == 0
+        assert not (out / "BENCH_kernels.json").exists()
+
+    def test_kernel_regression_fails_check(self, tmp_path, monkeypatch,
+                                           capsys):
+        monkeypatch.setattr(perf_mod, "run_suite",
+                            lambda names, **kw: [_record()])
+        baseline_dir = str(tmp_path / "baselines")
+        monkeypatch.setattr(perf_mod, "run_kernel_bench",
+                            lambda *a, **kw: _kernel_record())
+        assert perf_mod.main(["--update-baseline",
+                              "--baseline-dir", baseline_dir]) == 0
+        monkeypatch.setattr(
+            perf_mod, "run_kernel_bench",
+            lambda *a, **kw: _kernel_record(batch_speedup=1.0))
+        assert perf_mod.main(["--check",
+                              "--baseline-dir", baseline_dir]) == 1
+        assert "batch_speedup" in capsys.readouterr().out
 
     def test_committed_baseline_matches_schema(self):
         """The baseline shipped in-repo must load under the current
@@ -161,3 +256,13 @@ class TestMain:
         assert set(baseline) == set(perf_mod.SUITE)
         for record in baseline.values():
             assert record.model_iterations > 0
+
+    def test_committed_kernel_baseline_loads(self):
+        """The committed kernel microbenchmark baseline must load and
+        document the batched speedup the kernels were landed for."""
+        from pathlib import Path
+        repo_root = Path(__file__).resolve().parents[2]
+        record = load_kernel_record(
+            repo_root / "benchmarks" / "baselines")
+        assert record is not None
+        assert record.batch_speedup >= 10.0

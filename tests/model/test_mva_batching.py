@@ -1,0 +1,109 @@
+"""Tests for the batched per-site MVA path inside the model solver.
+
+The solver stacks same-layout site networks into single kernel calls
+and carries the Schweitzer queue iterate across outer iterations (and
+across solves, via snapshots).  None of that may move the fixed point:
+these tests pin the warm-start plumbing and the solution's invariance
+to it.
+"""
+
+import pytest
+
+from repro.model.diagnostics import ConvergenceTrace
+from repro.model.parameters import paper_sites
+from repro.model.solver import (CaratModel, ModelConfig,
+                                _MVA_QUEUE_SITE)
+from repro.model.workload import STANDARD_WORKLOADS
+
+
+def _config(name="MB4", **kwargs):
+    return ModelConfig(workload=STANDARD_WORKLOADS[name](),
+                       sites=paper_sites(), **kwargs)
+
+
+def _throughputs(solution):
+    return {name: site.transaction_throughput_per_s
+            for name, site in solution.sites.items()}
+
+
+class TestQueueSnapshot:
+    def test_approx_snapshot_carries_queue_seeds(self):
+        model = CaratModel(_config(mva="approx"))
+        model.solve()
+        snap = model.snapshot()
+        tagged = {site for (tag, site) in snap
+                  if tag == _MVA_QUEUE_SITE}
+        assert tagged == set(model.workload.sites)
+        seeds = snap[(_MVA_QUEUE_SITE, next(iter(tagged)))]
+        assert seeds
+        for key, value in seeds.items():
+            center, _, chain = key.partition("|")
+            assert center and chain
+            assert value >= 0.0
+
+    def test_exact_snapshot_has_no_queue_seeds(self):
+        model = CaratModel(_config(mva="exact"))
+        model.solve()
+        assert all(tag != _MVA_QUEUE_SITE for (tag, _) in model.snapshot())
+
+    def test_queue_seeds_invisible_to_chain_warm_start(self):
+        """The pseudo-site tag must never be mistaken for a chain
+        entry: warm-starting from a queue-bearing snapshot still seeds
+        every real chain and converges to the same fixed point."""
+        model = CaratModel(_config(mva="approx"))
+        cold = model.solve()
+        warm_model = CaratModel(_config(mva="approx"),
+                                warm_start=model.snapshot())
+        warm = warm_model.solve()
+        assert warm.iterations <= cold.iterations
+        for site, value in _throughputs(cold).items():
+            assert _throughputs(warm)[site] == pytest.approx(value,
+                                                             rel=1e-5)
+
+
+class TestWarmStartedInnerIterations:
+    def test_warm_queue_seed_cuts_inner_iterations(self):
+        """A warm-started nearby solve should spend no more Schweitzer
+        iterations than the cold solve of the same point."""
+        def inner_total(warm_start):
+            trace = ConvergenceTrace()
+            model = CaratModel(_config(mva="approx"),
+                               warm_start=warm_start,
+                               diagnostics=trace)
+            model.solve()
+            total = trace.summary()["mva_inner_iterations_total"]
+            return total, model.snapshot()
+
+        cold_inner, snapshot = inner_total(None)
+        warm_inner, _ = inner_total(snapshot)
+        assert warm_inner <= cold_inner
+
+    def test_traced_stats_count_batched_solves(self):
+        trace = ConvergenceTrace()
+        model = CaratModel(_config(mva="approx"), diagnostics=trace)
+        model.solve()
+        sites = len(model.workload.sites)
+        for record in trace.records:
+            assert record.mva_solves == sites
+            assert record.mva_inner_iterations > 0
+            assert record.mva_lattice_points == 0
+
+    def test_traced_stats_count_exact_lattice(self):
+        trace = ConvergenceTrace()
+        model = CaratModel(_config(mva="exact"), diagnostics=trace)
+        model.solve()
+        for record in trace.records:
+            assert record.mva_lattice_points > 0
+            assert record.mva_inner_iterations == 0
+
+
+class TestModeAgreement:
+    @pytest.mark.parametrize("name", ["LB8", "MB8"])
+    def test_exact_and_approx_fixed_points_agree(self, name):
+        """Schweitzer sites vs exact sites: same outer fixed point to
+        within the approximation's usual few-percent accuracy (compounded by the outer loop)."""
+        exact = CaratModel(_config(name, mva="exact")).solve()
+        approx = CaratModel(_config(name, mva="approx")).solve()
+        for site, value in _throughputs(exact).items():
+            assert _throughputs(approx)[site] == pytest.approx(value,
+                                                               rel=0.10)

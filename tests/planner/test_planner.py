@@ -252,3 +252,28 @@ class TestPlanEndToEnd:
             == result.optimum.point.mpl
         assert payload["whatif"][0]["candidate"]["kind"] \
             == "disk_speed"
+
+
+class TestZeroConflictCurve:
+    def test_curve_is_monotone_and_bounded(self, sites):
+        """Zero-conflict bottleneck utilization rises with MPL and
+        saturates at (just about) one."""
+        workload = mb4(4)
+        evaluator = PlanEvaluator(workload, sites, model_kwargs=KW)
+        grid = mpl_grid(workload, 24)
+        curve = evaluator.zero_conflict_curve(grid)
+        assert set(curve) == set(grid)
+        values = [curve[m] for m in grid]
+        assert all(0.0 < v <= 1.0 + 1e-6 for v in values)
+        assert all(later >= earlier - 1e-9
+                   for earlier, later in zip(values, values[1:]))
+        assert evaluator.solves == 0  # the pre-screen is solve-free
+
+    def test_floor_does_not_trim_past_the_optimum(self, mb4_search):
+        """The batched pre-screen floor must stay at or below the
+        brute-force optimum (it only prunes the rising edge)."""
+        from repro.planner.search import _zero_conflict_floor
+        grid = mpl_grid(mb4_search["workload"], 20)
+        floor = _zero_conflict_floor(mb4_search["brute_ev"], grid)
+        assert floor is not None
+        assert floor <= mb4_search["brute"].point.mpl
