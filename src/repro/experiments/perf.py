@@ -38,17 +38,23 @@ from repro.experiments.runner import ExperimentResult
 __all__ = [
     "BENCH_SCHEMA",
     "KERNEL_SCHEMA",
+    "OUTER_SCHEMA",
     "SUITE",
     "BenchRecord",
     "KernelBenchRecord",
+    "OuterBenchRecord",
     "run_suite",
     "run_kernel_bench",
+    "run_outer_bench",
     "write_records",
     "load_records",
     "compare_records",
     "write_kernel_record",
     "load_kernel_record",
     "compare_kernel_records",
+    "write_outer_record",
+    "load_outer_record",
+    "compare_outer_records",
     "main",
 ]
 
@@ -62,6 +68,16 @@ KERNEL_SCHEMA = "kernel-1"
 
 #: Batch size of the kernel microbenchmark's stacked-grid solve.
 KERNEL_BATCH = 64
+
+#: Schema tag of the outer-fixed-point benchmark record.  A *string*
+#: for the same reason as :data:`KERNEL_SCHEMA`: ``BENCH_outer.json``
+#: must never be mistaken for an experiment record by
+#: :func:`load_records`.
+OUTER_SCHEMA = "outer-1"
+
+#: Experiment whose cold sweep the outer benchmark times (tab3 is the
+#: MB8 distributed-update sweep — the heaviest of the suite).
+OUTER_SWEEP = "tab3"
 
 #: Absolute slack for the microsecond-scale kernel timings (scheduler
 #: jitter; same role as :data:`TIME_NOISE_FLOOR_MS` for the suite).
@@ -291,6 +307,162 @@ def run_kernel_bench(
     )
 
 
+@dataclass(frozen=True)
+class OuterBenchRecord:
+    """Outer fixed-point benchmark: scalar reference vs. tensor engine.
+
+    ``scalar_ms`` times the sweep solved point by point through the
+    scalar oracle
+    (:class:`~repro.model.solver_reference.ReferenceCaratModel`);
+    ``batch_ms`` times the same sweep as one
+    :func:`~repro.model.outer.solve_outer_batch` call.  ``speedup`` is
+    their ratio — the number the tensorized outer loop exists for.
+    ``batch_outer_iterations`` sums each grid point's fixed-point
+    iterations from the batched solve; it is deterministic and carries
+    the strict gate (the batched program must not take extra
+    iterations to converge).
+    """
+
+    sweep: str
+    batch_points: int
+    scalar_ms: float
+    batch_ms: float
+    speedup: float
+    batch_outer_iterations: int
+    name: str = "outer"
+    schema: str = OUTER_SCHEMA
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "OuterBenchRecord":
+        known = set(cls.__dataclass_fields__)
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def run_outer_bench(
+    sweep: str = OUTER_SWEEP, repeats: int = 3
+) -> OuterBenchRecord:
+    """Time one experiment's cold sweep both ways: sequential scalar
+    solves through the reference oracle vs. one batched tensor
+    program.
+
+    Both paths solve the *same* models (same workloads, sites and
+    solver options) from cold starts, so the speedup is a
+    like-for-like measure of the tensorized outer loop.  Timings take
+    the best of *repeats* repetitions.
+    """
+    from repro.model.outer import solve_outer_batch
+    from repro.model.parameters import paper_sites
+    from repro.model.solver import CaratModel, ModelConfig
+    from repro.model.solver_reference import ReferenceCaratModel
+
+    spec = experiment(sweep)
+    sites = paper_sites()
+    workloads = [spec.workload_factory(n) for n in spec.sweep]
+
+    def configs():
+        return [
+            ModelConfig(workload=workload, sites=sites,
+                        max_iterations=1000)
+            for workload in workloads
+        ]
+
+    best_scalar = best_batch = float("inf")
+    solutions = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        for config in configs():
+            ReferenceCaratModel(config).solve()
+        t1 = time.perf_counter()
+        best_scalar = min(best_scalar, (t1 - t0) * 1e3)
+
+        t0 = time.perf_counter()
+        solutions = solve_outer_batch(
+            [CaratModel(config) for config in configs()])
+        t1 = time.perf_counter()
+        best_batch = min(best_batch, (t1 - t0) * 1e3)
+
+    assert solutions is not None
+    return OuterBenchRecord(
+        sweep=sweep,
+        batch_points=len(workloads),
+        scalar_ms=best_scalar,
+        batch_ms=best_batch,
+        speedup=best_scalar / best_batch if best_batch > 0 else 0.0,
+        batch_outer_iterations=sum(s.iterations for s in solutions),
+    )
+
+
+def write_outer_record(
+    record: OuterBenchRecord, directory: str | os.PathLike
+) -> Path:
+    """Write ``BENCH_outer.json``; return the path."""
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{record.name}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_outer_record(
+    directory: str | os.PathLike,
+) -> OuterBenchRecord | None:
+    """Load ``BENCH_outer.json`` from *directory*, if present."""
+    path = Path(directory) / "BENCH_outer.json"
+    if not path.is_file():
+        return None
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("schema") != OUTER_SCHEMA:
+        return None
+    return OuterBenchRecord.from_dict(data)
+
+
+def compare_outer_records(
+    current: OuterBenchRecord,
+    baseline: OuterBenchRecord,
+    tolerance: float = 0.25,
+    time_tolerance: float | None = None,
+) -> list[str]:
+    """Regression messages for the outer benchmark (empty = pass).
+
+    ``batch_outer_iterations`` is deterministic and gated with the
+    strict *tolerance*; ``batch_ms`` and ``speedup`` are wall-time
+    measures and use *time_tolerance* (plus the noise floor for the
+    absolute timing).
+    """
+    if time_tolerance is None:
+        time_tolerance = tolerance
+    problems: list[str] = []
+    iters = current.batch_outer_iterations
+    ref_iters = baseline.batch_outer_iterations
+    if ref_iters > 0 and iters > ref_iters * (1.0 + tolerance):
+        problems.append(
+            f"outer: batch_outer_iterations regressed {iters} vs "
+            f"baseline {ref_iters} "
+            f"(+{100.0 * (iters / ref_iters - 1.0):.0f}%, "
+            f"allowed +{100.0 * tolerance:.0f}%)"
+        )
+    allowed_ms = baseline.batch_ms * (1.0 + time_tolerance) + TIME_NOISE_FLOOR_MS
+    if baseline.batch_ms > 0 and current.batch_ms > allowed_ms:
+        problems.append(
+            f"outer: batch_ms regressed {current.batch_ms:.1f} vs "
+            f"baseline {baseline.batch_ms:.1f} "
+            f"(+{100.0 * (current.batch_ms / baseline.batch_ms - 1.0):.0f}%, "
+            f"allowed +{100.0 * time_tolerance:.0f}%)"
+        )
+    if current.speedup < baseline.speedup * (1.0 - time_tolerance):
+        problems.append(
+            f"outer: speedup regressed {current.speedup:.1f}x vs "
+            f"baseline {baseline.speedup:.1f}x"
+        )
+    return problems
+
+
 def write_kernel_record(
     record: KernelBenchRecord, directory: str | os.PathLike
 ) -> Path:
@@ -340,8 +512,7 @@ def compare_kernel_records(
                 f"{ref:.1f} (+{100.0 * (value / ref - 1.0):.0f}%, "
                 f"allowed +{100.0 * time_tolerance:.0f}%)"
             )
-    if current.batch_speedup \
-            < baseline.batch_speedup * (1.0 - time_tolerance):
+    if current.batch_speedup < baseline.batch_speedup * (1.0 - time_tolerance):
         problems.append(
             f"kernels: batch_speedup regressed "
             f"{current.batch_speedup:.1f}x vs baseline "
@@ -468,6 +639,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the MVA-kernel microbenchmark",
     )
+    parser.add_argument(
+        "--no-outer",
+        action="store_true",
+        help="skip the outer fixed-point (scalar vs. batched) benchmark",
+    )
     args = parser.parse_args(argv)
 
     records = run_suite(tuple(args.suite))
@@ -488,17 +664,32 @@ def main(argv: list[str] | None = None) -> int:
             f"us/solve ({kernel.batch_speedup:.1f}x)"
         )
         print(line)
+    outer = None if args.no_outer else run_outer_bench()
+    if outer is not None:
+        line = (
+            f"BENCH outer: {outer.sweep} sweep "
+            f"({outer.batch_points} points) scalar "
+            f"{outer.scalar_ms:.0f} ms, batched {outer.batch_ms:.0f} ms "
+            f"({outer.speedup:.1f}x, "
+            f"{outer.batch_outer_iterations} outer iterations)"
+        )
+        print(line)
     if args.output_dir:
         for path in write_records(records, args.output_dir):
             print(f"wrote {path}")
         if kernel is not None:
             print(f"wrote {write_kernel_record(kernel, args.output_dir)}")
+        if outer is not None:
+            print(f"wrote {write_outer_record(outer, args.output_dir)}")
     if args.update_baseline:
         for path in write_records(records, args.baseline_dir):
             print(f"wrote {path}")
         if kernel is not None:
             print(
                 f"wrote {write_kernel_record(kernel, args.baseline_dir)}")
+        if outer is not None:
+            print(
+                f"wrote {write_outer_record(outer, args.baseline_dir)}")
         return 0
     if args.check:
         baseline = load_records(args.baseline_dir)
@@ -523,6 +714,14 @@ def main(argv: list[str] | None = None) -> int:
                 time_tolerance=(args.time_tolerance
                                 if args.time_tolerance is not None
                                 else args.tolerance),
+            )
+        outer_baseline = load_outer_record(args.baseline_dir)
+        if outer is not None and outer_baseline is not None:
+            problems += compare_outer_records(
+                outer,
+                outer_baseline,
+                tolerance=args.tolerance,
+                time_tolerance=args.time_tolerance,
             )
         for problem in problems:
             print(f"REGRESSION {problem}")

@@ -161,19 +161,37 @@ def solve_sweep_models(
     With ``trace=True`` every solve runs with a fresh
     :class:`~repro.model.diagnostics.ConvergenceTrace` attached, left
     on each returned solution's ``trace`` field.
+
+    Cold sweeps (``warm_start=False``) run every point as one batched
+    tensor program (:func:`repro.model.outer.solve_outer_batch`): the
+    grid points iterate in lockstep with per-element convergence
+    masking, producing bit-identical solutions to solving them one by
+    one.  Warm-started sweeps chain sequentially — each point's seed
+    is the previous point's converged snapshot, a data dependency no
+    batch can break.
     """
+    from repro.model.outer import solve_outer_batch
+
     model_kwargs = dict(model_kwargs or {})
     model_kwargs.setdefault("max_iterations", 1000)
+    if not warm_start:
+        models = [
+            CaratModel(
+                ModelConfig(workload=workload, sites=sites,
+                            **model_kwargs),
+                diagnostics=ConvergenceTrace() if trace else None)
+            for workload in workloads
+        ]
+        return solve_outer_batch(models)
     solutions: list[ModelSolution] = []
     seed = None
     for workload in workloads:
         model = CaratModel(
             ModelConfig(workload=workload, sites=sites, **model_kwargs),
-            warm_start=seed if warm_start else None,
+            warm_start=seed,
             diagnostics=ConvergenceTrace() if trace else None)
         solutions.append(model.solve())
-        if warm_start:
-            seed = model.snapshot()
+        seed = model.snapshot()
     return solutions
 
 

@@ -135,19 +135,32 @@ def run_sweep(request: SweepRequest,
     so each point resumes both fixed-point levels from the previous
     value's solution.  Module-level and picklable-by-reference, so
     :func:`run_sweeps` can ship it to worker processes.
+
+    With ``warm_start=False`` the points are independent and the whole
+    value axis solves as one batched tensor program
+    (:func:`repro.model.outer.solve_outer_batch`), bit-identical to
+    the sequential cold solves.
     """
-    points = []
-    snapshot = None
-    for value in request.values:
-        model = CaratModel(
-            ModelConfig(workload=workload,
-                        sites=_swept_sites(sites, request, value),
-                        max_iterations=1500,
-                        raise_on_nonconvergence=False),
-            warm_start=snapshot)
-        solution = model.solve()
-        if warm_start:
+    def config(value):
+        return ModelConfig(workload=workload,
+                           sites=_swept_sites(sites, request, value),
+                           max_iterations=1500,
+                           raise_on_nonconvergence=False)
+
+    if warm_start:
+        solutions = []
+        snapshot = None
+        for value in request.values:
+            model = CaratModel(config(value), warm_start=snapshot)
+            solutions.append(model.solve())
             snapshot = model.snapshot()
+    else:
+        from repro.model.outer import solve_outer_batch
+
+        solutions = solve_outer_batch(
+            [CaratModel(config(value)) for value in request.values])
+    points = []
+    for value, solution in zip(request.values, solutions):
         points.append(SensitivityPoint(
             value=float(value),
             throughput_per_s={

@@ -36,9 +36,11 @@ def _site_entries(site: SiteResult) -> list[BottleneckEntry]:
         for center, residence in result.residence_ms.items():
             if center in _EXCLUDED or result.cycle_response_ms <= 0:
                 continue
-            weights[center] = weights.get(center, 0.0) \
-                + result.throughput_per_s \
+            weights[center] = (
+                weights.get(center, 0.0)
+                + result.throughput_per_s
                 * residence / result.cycle_response_ms
+            )
     entries = []
     for center, weight in weights.items():
         utilization = None

@@ -68,8 +68,8 @@ def _slo_lines(result: PlanResult) -> list[str]:
         else:
             target = f"Pa <= {verdict.target:g}"
             at_max = _fmt(verdict.value_at_max)
-        status = "met at optimum" if verdict.met_at_optimum \
-            else "NOT met at optimum"
+        status = ("met at optimum" if verdict.met_at_optimum
+                  else "NOT met at optimum")
         reach = (f"max MPL {verdict.max_mpl}/site "
                  f"(value {at_max})"
                  if verdict.max_mpl is not None

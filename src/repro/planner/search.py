@@ -46,8 +46,8 @@ from repro.queueing.bounds import (aggregate_mix_network,
 from repro.queueing.kernels import NetworkArrays, solve_schweitzer_batch
 
 __all__ = ["mix_quantum", "scale_to_mpl", "mpl_grid", "PlanEvaluator",
-           "find_optimum", "brute_force_optimum", "slo_max_mpl",
-           "slo_max_arrival_per_s"]
+           "find_optimum", "brute_force_optimum", "prefetch_across",
+           "slo_max_mpl", "slo_max_arrival_per_s"]
 
 #: Throughput drop (relative to the peak) that counts as thrashing.
 KNEE_DROP = 0.05
@@ -192,7 +192,13 @@ class PlanEvaluator:
             ModelConfig(workload=scaled, sites=self.sites,
                         **self.model_kwargs),
             warm_start=self._nearest_snapshot(mpl))
-        solution = model.solve()
+        return self._finish_entry(mpl, scaled, digest, model,
+                                  model.solve())
+
+    def _finish_entry(self, mpl: int, scaled: WorkloadSpec,
+                      digest: str | None, model: CaratModel,
+                      solution: ModelSolution) -> dict:
+        """Memoize (and cache) one solved MPL's entry dict."""
         self.solves += 1
         self.total_iterations += solution.iterations
         response_ms, abort_probability = _user_measures(solution)
@@ -215,6 +221,45 @@ class PlanEvaluator:
         if digest is not None:
             self.cache.put_payload(digest, entry)
         return entry
+
+    def prefetch(self, mpls) -> None:
+        """Solve a set of grid MPLs as one batched tensor program.
+
+        Memoized and cached MPLs are skipped; the remaining points are
+        independent cold solves, so they run through
+        :func:`repro.model.outer.solve_outer_batch` in lockstep with
+        per-element convergence masking and land in the memo (and the
+        result cache) exactly as sequential evaluations would.  A
+        grid-sweeping caller (:func:`brute_force_optimum`,
+        ``repro plan --curve``) turns one solve per point into one
+        batched program per grid.
+        """
+        from repro.model.outer import solve_outer_batch
+
+        todo: list[tuple[int, WorkloadSpec, str | None]] = []
+        for mpl in sorted(set(mpls)):
+            if mpl in self._entries:
+                continue
+            scaled = scale_to_mpl(self.workload, mpl)
+            digest = self._digest(scaled) if self.use_cache else None
+            if digest is not None:
+                cached = self.cache.get_payload(digest)
+                if cached is not None:
+                    self.cache_hits += 1
+                    self._entries[mpl] = cached
+                    continue
+            todo.append((mpl, scaled, digest))
+        if not todo:
+            return
+        models = [
+            CaratModel(ModelConfig(workload=scaled, sites=self.sites,
+                                   **self.model_kwargs))
+            for _, scaled, _ in todo
+        ]
+        solutions = solve_outer_batch(models)
+        for (mpl, scaled, digest), model, solution in zip(
+                todo, models, solutions):
+            self._finish_entry(mpl, scaled, digest, model, solution)
 
     @staticmethod
     def _window(model: CaratModel, site: str,
@@ -324,9 +369,9 @@ def _find_knee(evaluator: PlanEvaluator, optimum_mpl: int) -> int | None:
     the peak — evidence the curve has tipped into thrashing."""
     peak = evaluator.point(optimum_mpl).throughput_per_s
     for mpl in evaluator.evaluated():
-        if mpl > optimum_mpl \
-                and evaluator.point(mpl).throughput_per_s \
-                < (1.0 - KNEE_DROP) * peak:
+        if (mpl > optimum_mpl
+                and evaluator.point(mpl).throughput_per_s
+                < (1.0 - KNEE_DROP) * peak):
             return mpl
     return None
 
@@ -422,11 +467,52 @@ def brute_force_optimum(evaluator: PlanEvaluator,
 
     Exists to validate :func:`find_optimum` (same optimum to within
     one grid step, strictly more solves) and for plotting the full
-    curve.
+    curve.  The grid is prefetched as one batched tensor program
+    (:meth:`PlanEvaluator.prefetch`) before being scanned.
     """
     grid = mpl_grid(evaluator.workload, mpl_max)
+    evaluator.prefetch(grid)
     best = max(grid, key=lambda m: _throughput(evaluator, m))
     return _optimum_result(evaluator, grid, best)
+
+
+def prefetch_across(evaluators, mpl: int) -> None:
+    """Solve one MPL across several evaluators as one batched program.
+
+    The cross-evaluator analogue of :meth:`PlanEvaluator.prefetch`:
+    memo and cache hits are served first, then every remaining
+    evaluator contributes one cold model and the whole set runs
+    through :func:`repro.model.outer.solve_outer_batch` together.
+    The what-if engine uses this to evaluate all hardware candidates
+    (which share a workload but differ in site parameters) as a
+    single tensor program.
+    """
+    from repro.model.outer import solve_outer_batch
+
+    todo = []
+    for ev in evaluators:
+        if mpl in ev._entries:
+            continue
+        scaled = scale_to_mpl(ev.workload, mpl)
+        digest = ev._digest(scaled) if ev.use_cache else None
+        if digest is not None:
+            cached = ev.cache.get_payload(digest)
+            if cached is not None:
+                ev.cache_hits += 1
+                ev._entries[mpl] = cached
+                continue
+        todo.append((ev, scaled, digest))
+    if not todo:
+        return
+    models = [
+        CaratModel(ModelConfig(workload=scaled, sites=ev.sites,
+                               **ev.model_kwargs))
+        for ev, scaled, _ in todo
+    ]
+    solutions = solve_outer_batch(models)
+    for (ev, scaled, digest), model, solution in zip(
+            todo, models, solutions):
+        ev._finish_entry(mpl, scaled, digest, model, solution)
 
 
 def slo_max_mpl(evaluator: PlanEvaluator, grid: tuple[int, ...],

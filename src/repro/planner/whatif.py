@@ -97,6 +97,33 @@ def evaluate_candidate(candidate: WhatIfCandidate,
             "bottleneck": top_bottleneck(evaluator.solution(mpl))}
 
 
+def _evaluate_batched(candidates: tuple[WhatIfCandidate, ...],
+                      workload: WorkloadSpec,
+                      sites: dict[str, SiteParameters],
+                      mpl: int,
+                      model_kwargs: dict,
+                      use_cache: bool) -> list[dict]:
+    """Evaluate every candidate in one batched outer fixed point."""
+    from repro.planner.search import prefetch_across
+
+    evaluators = [
+        PlanEvaluator(workload, apply_candidate(sites, candidate),
+                      model_kwargs=model_kwargs, use_cache=use_cache)
+        for candidate in candidates
+    ]
+    prefetch_across(evaluators, mpl)
+    results = []
+    for candidate, evaluator in zip(candidates, evaluators):
+        point = evaluator.point(mpl)
+        results.append({
+            "candidate": candidate,
+            "throughput_per_s": point.throughput_per_s,
+            "response_ms": point.response_ms,
+            "bottleneck": top_bottleneck(evaluator.solution(mpl)),
+        })
+    return results
+
+
 def run_whatif(candidates: tuple[WhatIfCandidate, ...],
                workload: WorkloadSpec,
                sites: dict[str, SiteParameters],
@@ -108,16 +135,27 @@ def run_whatif(candidates: tuple[WhatIfCandidate, ...],
 
     The returned outcomes keep the candidates' order; ``speedup`` is
     each candidate's throughput over the baseline optimum's.
+
+    With ``jobs`` of ``None`` or ``1`` the candidates solve in-process
+    as one batched tensor program
+    (:func:`repro.planner.search.prefetch_across`): they share the
+    workload's chain structure, so the whole upgrade menu is a single
+    outer fixed point with per-element convergence masking.  Larger
+    ``jobs`` fans candidates out across worker processes instead.
     """
     from repro.experiments.parallel import map_calls
 
     if not candidates:
         return ()
-    raw = map_calls(evaluate_candidate, list(candidates), jobs=jobs,
-                    kwargs={"workload": workload, "sites": sites,
-                            "mpl": baseline.mpl,
-                            "model_kwargs": model_kwargs,
-                            "use_cache": use_cache})
+    if jobs in (None, 1):
+        raw = _evaluate_batched(candidates, workload, sites,
+                                baseline.mpl, model_kwargs, use_cache)
+    else:
+        raw = map_calls(evaluate_candidate, list(candidates), jobs=jobs,
+                        kwargs={"workload": workload, "sites": sites,
+                                "mpl": baseline.mpl,
+                                "model_kwargs": model_kwargs,
+                                "use_cache": use_cache})
     base = baseline.throughput_per_s
     return tuple(
         WhatIfOutcome(

@@ -95,8 +95,9 @@ class NetworkArrays:
     @property
     def lattice_size(self) -> int:
         """Population vectors the exact recursion must visit."""
-        return int(np.prod(self.populations + 1)) if len(self.chains) \
-            else 1
+        if not self.chains:
+            return 1
+        return int(np.prod(self.populations + 1))
 
 
 @dataclass(frozen=True)
@@ -203,17 +204,30 @@ def solve_exact_batch(
     Q = np.zeros((B, L, Cq))
     X_final = np.zeros((B, K))
     R_final = np.zeros((B, K, Cq))
-    for flat, pts, active, pred in index.levels:
-        Qprev = Q[:, pred]                          # (B, M, K, Cq)
-        R = DqT[:, None, :, :] * (1.0 + Qprev)      # (B, M, K, Cq)
-        tot = R.sum(axis=3) + delay_r[:, None, :]   # (B, M, K)
-        with np.errstate(divide="ignore", invalid="ignore"):
+    # The residence matrix R is only needed at the final lattice
+    # point; interior levels fold the demand product straight into the
+    # einsum reductions, which skips two (B, M, K, Cq) temporaries per
+    # level on the hot path.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for flat, pts, active, pred in index.levels:
+            one_plus = Q[:, pred]                   # (B, M, K, Cq)
+            one_plus += 1.0
+            last = flat[-1] == index.final_flat
+            if last:
+                R = DqT[:, None, :, :] * one_plus   # (B, M, K, Cq)
+                tot = R.sum(axis=3) + delay_r[:, None, :]
+            else:
+                tot = np.einsum("bkc,bmkc->bmk", DqT, one_plus)
+                tot += delay_r[:, None, :]
             X = np.where(active[None, :, :] & (tot > 0.0),
                          pts[None, :, :] / tot, 0.0)
-        Q[:, flat] = np.einsum("bmk,bmkc->bmc", X, R)
-        if flat[-1] == index.final_flat:
-            X_final = X[:, -1]
-            R_final = np.where(DqT > 0.0, R[:, -1], 0.0)
+            if last:
+                Q[:, flat] = np.einsum("bmk,bmkc->bmc", X, R)
+                X_final = X[:, -1]
+                R_final = np.where(DqT > 0.0, R[:, -1], 0.0)
+            else:
+                Q[:, flat] = np.einsum("bmk,bkc,bmkc->bmc",
+                                       X, DqT, one_plus)
 
     residence = np.zeros((B, C, K))
     residence[:, qmask, :] = R_final.transpose(0, 2, 1)

@@ -147,8 +147,9 @@ def reference_mva_approx(
         # distance the stored iterate actually moved.
         delta = 0.0
         for key in queue:
-            applied = (1 - damping) * queue[key] \
-                + damping * new_queue[key]
+            applied = (
+                (1 - damping) * queue[key] + damping * new_queue[key]
+            )
             step = abs(applied - queue[key])
             if step > delta:
                 delta = step

@@ -8,12 +8,15 @@ import pytest
 from repro.experiments import cache as cache_mod
 from repro.experiments import perf as perf_mod
 from repro.experiments.perf import (BENCH_SCHEMA, KERNEL_SCHEMA,
-                                    BenchRecord, KernelBenchRecord,
+                                    OUTER_SCHEMA, BenchRecord,
+                                    KernelBenchRecord, OuterBenchRecord,
                                     compare_kernel_records,
+                                    compare_outer_records,
                                     compare_records, load_kernel_record,
-                                    load_records, run_kernel_bench,
+                                    load_outer_record, load_records,
+                                    run_kernel_bench, run_outer_bench,
                                     run_suite, write_kernel_record,
-                                    write_records)
+                                    write_outer_record, write_records)
 
 
 @pytest.fixture(autouse=True)
@@ -40,6 +43,14 @@ def _kernel_record(**overrides):
                   batch_per_solve_us=125.0, batch_speedup=12.0)
     kwargs.update(overrides)
     return KernelBenchRecord(**kwargs)
+
+
+def _outer_record(**overrides):
+    kwargs = dict(sweep="tab3", batch_points=5, scalar_ms=500.0,
+                  batch_ms=150.0, speedup=3.3,
+                  batch_outer_iterations=150)
+    kwargs.update(overrides)
+    return OuterBenchRecord(**kwargs)
 
 
 class TestBenchRecord:
@@ -197,6 +208,65 @@ class TestKernelBench:
                                       time_tolerance=0.01) == []
 
 
+class TestOuterBench:
+    def test_record_round_trip(self):
+        record = _outer_record()
+        clone = OuterBenchRecord.from_dict(record.to_dict())
+        assert clone == record
+        assert clone.schema == OUTER_SCHEMA
+
+    def test_run_outer_bench_populated(self):
+        record = run_outer_bench(sweep="fig5", repeats=1)
+        assert record.sweep == "fig5"
+        assert record.batch_points == 5
+        assert record.scalar_ms > 0.0
+        assert record.batch_ms > 0.0
+        assert record.speedup == \
+            pytest.approx(record.scalar_ms / record.batch_ms)
+        # The batched program converges in the same iterations as the
+        # scalar oracle, so the counter matches the suite baseline's.
+        assert record.batch_outer_iterations > 0
+
+    def test_write_load_round_trip(self, tmp_path):
+        record = _outer_record()
+        path = write_outer_record(record, tmp_path)
+        assert path.name == "BENCH_outer.json"
+        assert load_outer_record(tmp_path) == record
+
+    def test_load_ignores_wrong_schema(self, tmp_path):
+        data = _outer_record().to_dict()
+        data["schema"] = "outer-0"
+        (tmp_path / "BENCH_outer.json").write_text(json.dumps(data))
+        assert load_outer_record(tmp_path) is None
+
+    def test_suite_loader_skips_outer_record(self, tmp_path):
+        """``load_records`` keys on the integer experiment schema, so
+        the string-schema outer record must never be picked up."""
+        write_outer_record(_outer_record(), tmp_path)
+        write_records([_record()], tmp_path)
+        assert set(load_records(tmp_path)) == {"fig5"}
+
+    def test_compare_within_tolerance_passes(self):
+        current = _outer_record(batch_ms=160.0, speedup=3.0)
+        assert compare_outer_records(current, _outer_record()) == []
+
+    def test_compare_flags_iteration_regression(self):
+        current = _outer_record(batch_outer_iterations=300)
+        problems = compare_outer_records(current, _outer_record())
+        assert any("batch_outer_iterations" in p for p in problems)
+
+    def test_compare_flags_lost_speedup(self):
+        current = _outer_record(speedup=1.2)
+        problems = compare_outer_records(current, _outer_record())
+        assert any("speedup" in p for p in problems)
+
+    def test_noise_floor_absorbs_small_blip(self):
+        base = _outer_record(batch_ms=50.0)
+        current = _outer_record(batch_ms=120.0)
+        assert compare_outer_records(current, base,
+                                     time_tolerance=0.01) == []
+
+
 class TestMain:
     @pytest.fixture
     def canned_suite(self, monkeypatch):
@@ -204,6 +274,8 @@ class TestMain:
                             lambda names, **kw: [_record()])
         monkeypatch.setattr(perf_mod, "run_kernel_bench",
                             lambda *a, **kw: _kernel_record())
+        monkeypatch.setattr(perf_mod, "run_outer_bench",
+                            lambda *a, **kw: _outer_record())
 
     def test_update_then_check_passes(self, tmp_path, canned_suite,
                                       capsys):
@@ -223,6 +295,7 @@ class TestMain:
         assert perf_mod.main(["--output-dir", str(out)]) == 0
         assert (out / "BENCH_fig5.json").is_file()
         assert (out / "BENCH_kernels.json").is_file()
+        assert (out / "BENCH_outer.json").is_file()
 
     def test_no_kernels_skips_microbenchmark(self, tmp_path,
                                              canned_suite):
@@ -231,13 +304,17 @@ class TestMain:
                               "--output-dir", str(out)]) == 0
         assert not (out / "BENCH_kernels.json").exists()
 
+    def test_no_outer_skips_outer_benchmark(self, tmp_path,
+                                            canned_suite):
+        out = tmp_path / "out"
+        assert perf_mod.main(["--no-outer",
+                              "--output-dir", str(out)]) == 0
+        assert not (out / "BENCH_outer.json").exists()
+        assert (out / "BENCH_kernels.json").is_file()
+
     def test_kernel_regression_fails_check(self, tmp_path, monkeypatch,
-                                           capsys):
-        monkeypatch.setattr(perf_mod, "run_suite",
-                            lambda names, **kw: [_record()])
+                                           capsys, canned_suite):
         baseline_dir = str(tmp_path / "baselines")
-        monkeypatch.setattr(perf_mod, "run_kernel_bench",
-                            lambda *a, **kw: _kernel_record())
         assert perf_mod.main(["--update-baseline",
                               "--baseline-dir", baseline_dir]) == 0
         monkeypatch.setattr(
@@ -246,6 +323,21 @@ class TestMain:
         assert perf_mod.main(["--check",
                               "--baseline-dir", baseline_dir]) == 1
         assert "batch_speedup" in capsys.readouterr().out
+
+    def test_outer_regression_fails_check(self, tmp_path, monkeypatch,
+                                          capsys, canned_suite):
+        baseline_dir = str(tmp_path / "baselines")
+        assert perf_mod.main(["--update-baseline",
+                              "--baseline-dir", baseline_dir]) == 0
+        monkeypatch.setattr(
+            perf_mod, "run_outer_bench",
+            lambda *a, **kw: _outer_record(batch_outer_iterations=999,
+                                           speedup=1.0))
+        assert perf_mod.main(["--check",
+                              "--baseline-dir", baseline_dir]) == 1
+        out = capsys.readouterr().out
+        assert "batch_outer_iterations" in out
+        assert "speedup" in out
 
     def test_committed_baseline_matches_schema(self):
         """The baseline shipped in-repo must load under the current
@@ -266,3 +358,15 @@ class TestMain:
             repo_root / "benchmarks" / "baselines")
         assert record is not None
         assert record.batch_speedup >= 10.0
+
+    def test_committed_outer_baseline_loads(self):
+        """The committed outer-benchmark baseline must load and
+        document the >=3x batched-sweep speedup the tensorized outer
+        loop was landed for."""
+        from pathlib import Path
+        repo_root = Path(__file__).resolve().parents[2]
+        record = load_outer_record(
+            repo_root / "benchmarks" / "baselines")
+        assert record is not None
+        assert record.speedup >= 3.0
+        assert record.batch_outer_iterations > 0

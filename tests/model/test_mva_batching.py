@@ -10,6 +10,7 @@ to it.
 import pytest
 
 from repro.model.diagnostics import ConvergenceTrace
+from repro.model.outer import solve_outer_batch
 from repro.model.parameters import paper_sites
 from repro.model.solver import (CaratModel, ModelConfig,
                                 _MVA_QUEUE_SITE)
@@ -18,6 +19,11 @@ from repro.model.workload import STANDARD_WORKLOADS
 
 def _config(name="MB4", **kwargs):
     return ModelConfig(workload=STANDARD_WORKLOADS[name](),
+                       sites=paper_sites(), **kwargs)
+
+
+def _config_n(name, n, **kwargs):
+    return ModelConfig(workload=STANDARD_WORKLOADS[name](n),
                        sites=paper_sites(), **kwargs)
 
 
@@ -95,6 +101,82 @@ class TestWarmStartedInnerIterations:
         for record in trace.records:
             assert record.mva_lattice_points > 0
             assert record.mva_inner_iterations == 0
+
+
+class TestBatchedRoundTrip:
+    """The whole-solve batch (:func:`solve_outer_batch`) must
+    round-trip everything the scalar path exposes: per-grid-point
+    iteration counts, snapshots, warm-start seeds, and traces."""
+
+    GRID = (4, 12, 20)
+
+    def _batch(self, mva, warm_starts=None, diagnostics=None):
+        models = [
+            CaratModel(
+                _config_n("MB8", n, mva=mva, max_iterations=1000),
+                warm_start=(warm_starts[i] if warm_starts else None),
+                diagnostics=(diagnostics[i] if diagnostics else None))
+            for i, n in enumerate(self.GRID)
+        ]
+        return models, solve_outer_batch(models)
+
+    def _singles(self, mva):
+        models = [CaratModel(_config_n("MB8", n, mva=mva,
+                                       max_iterations=1000))
+                  for n in self.GRID]
+        return models, [m.solve() for m in models]
+
+    @pytest.mark.parametrize("mva", ["exact", "approx"])
+    def test_per_point_iterations_match_scalar(self, mva):
+        _, batched = self._batch(mva)
+        _, singles = self._singles(mva)
+        assert [s.iterations for s in batched] == \
+            [s.iterations for s in singles]
+        for got, want in zip(batched, singles):
+            assert got.converged and want.converged
+            assert _throughputs(got) == _throughputs(want)
+
+    @pytest.mark.parametrize("mva", ["exact", "approx"])
+    def test_snapshots_match_scalar(self, mva):
+        """``snapshot()`` after a batched solve is *identical* to the
+        standalone solve's — including the Schweitzer queue seeds."""
+        batch_models, _ = self._batch(mva)
+        single_models, _ = self._singles(mva)
+        for got, want in zip(batch_models, single_models):
+            assert got.snapshot() == want.snapshot()
+
+    def test_warm_start_round_trips_through_batch(self):
+        """Snapshots from a batched solve warm-start the next batched
+        solve, cutting iterations without moving the fixed point."""
+        cold_models, cold = self._batch("approx")
+        seeds = [m.snapshot() for m in cold_models]
+        _, warm = self._batch("approx", warm_starts=seeds)
+        for hot, ref in zip(warm, cold):
+            assert hot.iterations <= ref.iterations
+            for site, value in _throughputs(ref).items():
+                assert _throughputs(hot)[site] == \
+                    pytest.approx(value, rel=1e-5)
+
+    def test_traces_round_trip_through_batch(self):
+        """Each batch element's trace matches its scalar solve's:
+        same record count, same per-iteration MVA accounting."""
+        traces = [ConvergenceTrace() for _ in self.GRID]
+        self._batch("approx", diagnostics=traces)
+        for n, trace in zip(self.GRID, traces):
+            single_trace = ConvergenceTrace()
+            CaratModel(_config_n("MB8", n, mva="approx",
+                                 max_iterations=1000),
+                       diagnostics=single_trace).solve()
+            got = trace.summary()
+            want = single_trace.summary()
+            assert len(trace.records) == len(single_trace.records)
+            assert got["iterations"] == want["iterations"]
+            assert got["mva_inner_iterations_total"] == \
+                want["mva_inner_iterations_total"]
+            sites = 2
+            for record in trace.records:
+                assert record.mva_solves == sites
+                assert record.mva_inner_iterations > 0
 
 
 class TestModeAgreement:
