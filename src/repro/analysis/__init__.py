@@ -1,0 +1,43 @@
+"""caratlint: AST-based domain-invariant static analysis for CARAT.
+
+The package machine-checks repo conventions that previously lived only
+in review comments and runtime tests: seeded determinism in the model
+and testbed, loop-free kernel hot paths, ``(B, C, K)`` shape-contract
+documentation, telemetry purity, and a handful of general Python
+hygiene rules.  See ``docs/static-analysis.md`` for the rule catalog.
+
+Entry points:
+
+- ``repro lint`` (CLI subcommand) and ``tools/caratlint`` (CI shim),
+  both thin wrappers over :func:`repro.analysis.cli.main`;
+- :func:`lint_paths` / :func:`lint_file` for programmatic use;
+- :func:`repro.analysis.contracts.shape_contract` for the optional
+  runtime shape checker paired with rule CL003.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.contracts import (ShapeContractError, checked,
+                                      shape_checks_enabled,
+                                      shape_contract)
+from repro.analysis.core import (Finding, Rule, all_rules, lint_file,
+                                 lint_paths, register, render_json,
+                                 render_text)
+
+# Importing the rules module populates the registry as a side effect.
+from repro.analysis import rules as _rules  # noqa: F401  (registration)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "ShapeContractError",
+    "all_rules",
+    "checked",
+    "lint_file",
+    "lint_paths",
+    "register",
+    "render_json",
+    "render_text",
+    "shape_checks_enabled",
+    "shape_contract",
+]

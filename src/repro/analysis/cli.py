@@ -1,0 +1,76 @@
+"""Command-line front end for caratlint.
+
+Reached three ways, all converging on :func:`main`:
+
+- ``repro lint [paths...]`` (subcommand of the package CLI);
+- ``tools/caratlint`` (standalone CI / pre-commit entry point);
+- ``python -m repro.analysis.cli``.
+
+Exit status: 0 when clean, 1 when findings remain, 2 on usage errors
+(argparse) or unreadable paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis import rules as _rules  # noqa: F401  (registration)
+from repro.analysis.core import (all_rules, lint_paths, render_json,
+                                 render_text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="caratlint",
+        description=("AST-based domain-invariant linter for the "
+                     "CARAT reproduction (rule catalog: "
+                     "docs/static-analysis.md)"))
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the report to FILE instead of stdout")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rule catalog and exit")
+    return parser
+
+
+def _rule_catalog() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.rule_id}  {rule.title}")
+        lines.append(f"       {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_rule_catalog())
+        return 0
+    try:
+        findings = lint_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"caratlint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        report = render_json(findings)
+    else:
+        report = render_text(findings)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,185 @@
+"""Runtime shape contracts for ``(B, C, K)``-style array interfaces.
+
+The static side of shape discipline is caratlint rule CL003; this
+module is the optional runtime side.  A kernel declares its axes once:
+
+    @shape_contract(demands="(B, C, K) | (C, K)", delay="(C,)",
+                    populations="(K,)")
+    def solve_exact_batch(demands, delay, populations): ...
+
+By default the decorator only records the parsed contract on the
+function (``fn.__shape_contract__``) and returns it unchanged — zero
+runtime cost.  Checking activates in two ways:
+
+- process-wide, by setting ``CARAT_SHAPE_CHECKS=1`` before import;
+- per call site, via :func:`checked`, which wraps a decorated
+  function in an enforcing validator (used by the equivalence tests).
+
+Violations raise :class:`ShapeContractError` naming the offending
+argument and dimension (``dimension 'K' has size 3, expected 4``)
+instead of letting NumPy produce a broadcast traceback three frames
+deeper.
+
+Spec grammar: each parameter maps to one or more shape alternatives
+separated by ``|``.  A shape is a parenthesized, comma-separated list
+of dimensions; a dimension is a named axis (``B``, ``C``, ``K``, ...,
+sizes must agree across all arguments of one call), an integer
+literal (exact size), or ``_`` (wildcard).  ``None`` arguments are
+skipped, so optional arrays compose naturally.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+from collections.abc import Callable
+from typing import Any, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "ShapeContractError",
+    "checked",
+    "shape_checks_enabled",
+    "shape_contract",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_Shape = tuple[str, ...]
+_Contract = dict[str, tuple[_Shape, ...]]
+
+
+class ShapeContractError(TypeError):
+    """An array argument violated its declared shape contract."""
+
+
+def shape_checks_enabled() -> bool:
+    """Whether ``@shape_contract`` wraps functions process-wide."""
+    return os.environ.get("CARAT_SHAPE_CHECKS", "").strip().lower() \
+        in ("1", "true", "yes", "on")
+
+
+def _parse_spec(param: str, spec: str) -> tuple[_Shape, ...]:
+    alternatives: list[_Shape] = []
+    for alt in spec.split("|"):
+        alt = alt.strip()
+        if not (alt.startswith("(") and alt.endswith(")")):
+            raise ValueError(
+                f"shape spec for '{param}' must be parenthesized, "
+                f"got {alt!r}")
+        dims = tuple(d.strip() for d in alt[1:-1].split(",")
+                     if d.strip())
+        for dim in dims:
+            if not (dim == "_" or dim.isdigit()
+                    or dim.isidentifier()):
+                raise ValueError(
+                    f"bad dimension {dim!r} in shape spec for "
+                    f"'{param}': {alt!r}")
+        alternatives.append(dims)
+    if not alternatives:
+        raise ValueError(f"empty shape spec for '{param}'")
+    return tuple(alternatives)
+
+
+def _format_shape(shape: _Shape) -> str:
+    if len(shape) == 1:
+        return f"({shape[0]},)"
+    return "(" + ", ".join(shape) + ")"
+
+
+def _validate(qualname: str, contract: _Contract,
+              arguments: dict[str, Any]) -> None:
+    env: dict[str, tuple[int, str]] = {}
+    for name, alternatives in contract.items():
+        if name not in arguments or arguments[name] is None:
+            continue
+        value = arguments[name]
+        shape = tuple(np.shape(value))
+        by_ndim = [alt for alt in alternatives
+                   if len(alt) == len(shape)]
+        if not by_ndim:
+            wanted = " | ".join(_format_shape(a)
+                                for a in alternatives)
+            raise ShapeContractError(
+                f"{qualname}: argument '{name}' has shape "
+                f"{shape} ({len(shape)}-d), expected {wanted}")
+        # With one alternative per ndim (the normal case) this binds
+        # each named dimension; ambiguous specs take the first match.
+        dims = by_ndim[0]
+        for dim, size in zip(dims, shape):
+            if dim == "_":
+                continue
+            if dim.isdigit():
+                if size != int(dim):
+                    raise ShapeContractError(
+                        f"{qualname}: argument '{name}' dimension "
+                        f"{dim} expected exactly {dim}, got {size} "
+                        f"(shape {shape})")
+                continue
+            if dim in env and env[dim][0] != size:
+                prev_size, prev_arg = env[dim]
+                raise ShapeContractError(
+                    f"{qualname}: argument '{name}' dimension "
+                    f"'{dim}' has size {size}, expected {prev_size} "
+                    f"(bound by argument '{prev_arg}'); "
+                    f"{name}.shape == {shape}")
+            env.setdefault(dim, (size, name))
+
+
+def _wrap(fn: Callable[..., Any],
+          contract: _Contract) -> Callable[..., Any]:
+    signature = inspect.signature(fn)
+    unknown = set(contract) - set(signature.parameters)
+    if unknown:
+        raise ValueError(
+            f"shape contract on {fn.__qualname__} names unknown "
+            f"parameter(s): {', '.join(sorted(unknown))}")
+
+    @functools.wraps(fn)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        bound = signature.bind(*args, **kwargs)
+        _validate(fn.__qualname__, contract, bound.arguments)
+        return fn(*args, **kwargs)
+
+    wrapper.__shape_contract__ = contract  # type: ignore[attr-defined]
+    return wrapper
+
+
+def shape_contract(**specs: str) -> Callable[[F], F]:
+    """Declare named-dimension shapes for array parameters.
+
+    Zero-cost by default: the parsed contract is attached as
+    ``fn.__shape_contract__`` and the function is returned unchanged
+    unless ``CARAT_SHAPE_CHECKS`` is truthy in the environment.
+    """
+    parsed: _Contract = {
+        name: _parse_spec(name, spec)
+        for name, spec in specs.items()
+    }
+
+    def decorate(fn: F) -> F:
+        if shape_checks_enabled():
+            return _wrap(fn, parsed)  # type: ignore[return-value]
+        fn.__shape_contract__ = parsed  # type: ignore[attr-defined]
+        return fn
+
+    return decorate
+
+
+def checked(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """An always-enforcing wrapper of a ``@shape_contract`` function.
+
+    Lets tests validate shapes regardless of the environment switch:
+    ``solve = checked(solve_exact_batch)``.  Idempotent on functions
+    already wrapped by an enabled decorator.
+    """
+    contract = getattr(fn, "__shape_contract__", None)
+    if contract is None:
+        raise ValueError(
+            f"{getattr(fn, '__qualname__', fn)!r} declares no shape "
+            "contract")
+    if hasattr(fn, "__wrapped__"):
+        return fn  # already the enforcing wrapper
+    return _wrap(fn, contract)

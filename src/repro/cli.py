@@ -236,6 +236,23 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--output", default="-",
                       help="file path or '-' for stdout")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run caratlint, the domain-invariant static analyzer "
+             "(docs/static-analysis.md)")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint "
+                           "(default: src)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text",
+                      help="report format (default: text)")
+    lint.add_argument("--output", metavar="FILE", default=None,
+                      help="write the report to FILE instead of "
+                           "stdout")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rule catalog and "
+                           "exit")
+
     sub.add_parser("list", help="list experiments and workloads")
     return parser
 
@@ -539,6 +556,17 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.cli import main as lint_main
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.output:
+        argv += ["--output", args.output]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def _cmd_list(_args) -> int:
     from repro.planner.report import render_workload_bounds
     print("experiments:")
@@ -564,6 +592,7 @@ def main(argv: list[str] | None = None) -> int:
         "sensitivity": _cmd_sensitivity,
         "export": _cmd_export,
         "plan": _cmd_plan,
+        "lint": _cmd_lint,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

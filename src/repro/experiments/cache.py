@@ -26,6 +26,7 @@ Deleting the directory (or any file in it) is always safe.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import enum
 import hashlib
@@ -192,7 +193,9 @@ class ResultCache:
         points = tuple(points)
         _MEMORY[digest] = points
         entry = {"version": CACHE_VERSION, "points": points}
-        try:
+        # A read-only or full cache directory must never fail the
+        # run; the memory layer still serves this process.
+        with contextlib.suppress(OSError):
             self.root.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             try:
@@ -203,10 +206,6 @@ class ResultCache:
             except BaseException:
                 os.unlink(tmp)
                 raise
-        except OSError:
-            # A read-only or full cache directory must never fail the
-            # run; the memory layer still serves this process.
-            pass
 
     def get_payload(self, digest: str):
         """Arbitrary payload for *digest*, or ``None`` on a miss."""
@@ -230,7 +229,7 @@ class ResultCache:
         """Store an arbitrary picklable *payload* (memory + disk)."""
         _MEMORY[digest] = payload
         entry = {"version": CACHE_VERSION, "payload": payload}
-        try:
+        with contextlib.suppress(OSError):  # best-effort, as in put()
             self.root.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             try:
@@ -241,8 +240,6 @@ class ResultCache:
             except BaseException:
                 os.unlink(tmp)
                 raise
-        except OSError:
-            pass
 
 
 def fetch_or_run_many(

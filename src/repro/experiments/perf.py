@@ -122,7 +122,7 @@ class BenchRecord:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict[str, Any]) -> "BenchRecord":
+    def from_dict(cls, data: dict[str, Any]) -> BenchRecord:
         known = set(cls.__dataclass_fields__)
         return cls(**{k: v for k, v in data.items() if k in known})
 
@@ -229,7 +229,7 @@ class KernelBenchRecord:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict[str, Any]) -> "KernelBenchRecord":
+    def from_dict(cls, data: dict[str, Any]) -> KernelBenchRecord:
         known = set(cls.__dataclass_fields__)
         return cls(**{k: v for k, v in data.items() if k in known})
 
@@ -336,7 +336,7 @@ class OuterBenchRecord:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict[str, Any]) -> "OuterBenchRecord":
+    def from_dict(cls, data: dict[str, Any]) -> OuterBenchRecord:
         known = set(cls.__dataclass_fields__)
         return cls(**{k: v for k, v in data.items() if k in known})
 

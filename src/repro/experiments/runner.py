@@ -12,7 +12,7 @@ simulator — our stand-in for the paper's testbed measurements
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 from repro.model.diagnostics import ConvergenceTrace
 from repro.model.parameters import SiteParameters, paper_sites

@@ -38,9 +38,11 @@ from __future__ import annotations
 
 import json
 import math
+import time
 from collections import deque
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any
 
 from repro.errors import ConfigurationError
 
@@ -49,7 +51,19 @@ __all__ = [
     "PHASE_NAMES",
     "IterationRecord",
     "ConvergenceTrace",
+    "trace_clock",
 ]
+
+
+def trace_clock() -> Callable[[], float]:
+    """The wall clock used for per-phase trace timings.
+
+    Solver code must not read wall clocks directly (caratlint CL001:
+    traced and untraced runs stay bit-identical in their *numerics*,
+    so timing is quarantined here in the diagnostics layer).  Returns
+    the monotonic high-resolution clock as a callable.
+    """
+    return time.perf_counter
 
 #: Damped iterate fields whose per-iteration step the trace records.
 TRACKED_FIELDS = (

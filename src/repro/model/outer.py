@@ -40,14 +40,13 @@ with ``B = 1``.
 
 from __future__ import annotations
 
-import time
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.model import demands as demands_mod
-from repro.model.diagnostics import TRACKED_FIELDS
+from repro.model.diagnostics import TRACKED_FIELDS, trace_clock
 from repro.model.results import ModelSolution
 from repro.model.types import PHASE_ORDER, ChainType, Phase
 from repro.queueing.kernels import (
@@ -117,12 +116,14 @@ _ROW_SOURCE = {
 def _seq_sum_last(term: np.ndarray) -> np.ndarray:
     """Sum over the last axis by sequential left-to-right accumulation.
 
-    Mirrors the scalar loops (``sum()`` / ``+=`` over dict items in
-    state order) bit-for-bit: pairwise summation would round
-    differently, and batched-vs-scalar equivalence leans on masked
-    (zero) terms being exact no-ops.
+    ``term`` is any stack with a trailing reduction axis — e.g. the
+    ``(A, M, M)`` holder-mass tensor.  Mirrors the scalar loops
+    (``sum()`` / ``+=`` over dict items in state order) bit-for-bit:
+    pairwise summation would round differently, and batched-vs-scalar
+    equivalence leans on masked (zero) terms being exact no-ops.
     """
     out = term[..., 0].copy()
+    # caratlint: disable=CL002 -- left-to-right order is the contract
     for j in range(1, term.shape[-1]):
         out = out + term[..., j]
     return out
@@ -141,9 +142,11 @@ class _MvaGroup:
         self.exact = exact
         self.pops = pops              # (K,) shared, exact groups only
         self.pairs: list[tuple[int, int]] = []
-        self.b_idx: np.ndarray | None = None
-        self.m_idx: np.ndarray | None = None
-        self.pops_all: np.ndarray | None = None
+        # Filled by _BatchEngine._init_mva_groups once all pairs are
+        # collected; empty placeholders keep the attributes non-None.
+        self.b_idx: np.ndarray = np.zeros(0, dtype=np.int64)
+        self.m_idx: np.ndarray = np.zeros((0, 0), dtype=np.int64)
+        self.pops_all: np.ndarray = np.zeros((0, 0), dtype=np.int64)
         self.qnames = tuple(k for k, d in zip(kinds, delay) if not d)
         self.lattice = 0
 
@@ -322,13 +325,13 @@ class _BatchEngine:
                 order = sorted(members,
                                key=lambda m: self.chain_of[m].value)
                 chains = tuple(self.chain_of[m].value for m in order)
-                kinds = ["cpu", "disk"]
+                kind_list = ["cpu", "disk"]
                 if model.sites[site_name].log_on_separate_disk:
-                    kinds.insert(2, "logdisk")
-                kinds += ["lw", "rw", "cw", "ut"]
+                    kind_list.insert(2, "logdisk")
+                kind_list += ["lw", "rw", "cw", "ut"]
                 if self.tm_flag:
-                    kinds.append("tms")
-                kinds = tuple(kinds)
+                    kind_list.append("tms")
+                kinds = tuple(kind_list)
                 delay = tuple(k in ("lw", "rw", "cw", "ut", "tms")
                               for k in kinds)
                 pops = tuple(int(self.pop_i[b, m]) for m in order)
@@ -379,7 +382,10 @@ class _BatchEngine:
     # ------------------------------------------------------------------
 
     def _rebuild(self, al: np.ndarray) -> None:
-        """Steps 1-2: visits, phase costs and demand assembly."""
+        """Steps 1-2: visits, phase costs and demand assembly.
+
+        ``al`` is the ``(A,)`` vector of alive batch-row indices.
+        """
         A = len(al)
         M = self.M
         pbv = np.minimum(1.0, self.it["pb"][al])
@@ -423,6 +429,9 @@ class _BatchEngine:
 
         cb = self.cpu_base[al]
         acc = v[:, :, _PI[_CPU_ORDER[0]]] * cb[:, :, _PI[_CPU_ORDER[0]]]
+        # Eight phases, summed in the scalar aggregate_demands
+        # insertion order for bit-exactness.
+        # caratlint: disable=CL002 -- fixed phase summation order
         for phase in _CPU_ORDER[1:]:
             acc = acc + v[:, :, _PI[phase]] * cb[:, :, _PI[phase]]
         acc = acc + v[:, :, iTA] * cpu_ta
@@ -475,6 +484,12 @@ class _BatchEngine:
     def _group_q0(self, group: _MvaGroup, sel: list[int],
                   stack: np.ndarray,
                   pops: np.ndarray) -> np.ndarray | None:
+        """Warm-start queues for one group's selected rows, or None.
+
+        ``stack`` is the group's ``(G, C, K)`` demand stack and
+        ``pops`` its ``(G, K)`` populations; the result (when any row
+        has a seed) follows the kernels' ``(G, Cq, K)`` q0 contract.
+        """
         need = False
         for i in sel:
             pair = group.pairs[i]
@@ -507,9 +522,15 @@ class _BatchEngine:
         return q0
 
     def _solve_mva(self, alive: np.ndarray) -> None:
-        """Step 2: batched per-site MVA over all alive pairs."""
+        """Step 2: batched per-site MVA over all alive pairs.
+
+        ``alive`` is the ``(B,)`` liveness mask; each layout group
+        stacks its alive ``(model, site)`` pairs into one kernel call.
+        """
         self.cur_inner = np.zeros(self.B, dtype=np.int64)
         self.cur_lattice = np.zeros(self.B, dtype=np.int64)
+        # caratlint: disable=CL002 -- a handful of layout groups; each
+        # body is one whole-stack kernel call, not per-chain work
         for group in self.groups:
             sel = [i for i, (b, _s) in enumerate(group.pairs)
                    if alive[b]]
@@ -519,6 +540,7 @@ class _BatchEngine:
             mm = group.m_idx[sel]
             C, K = len(group.kinds), mm.shape[1]
             stack = np.empty((len(sel), C, K))
+            # caratlint: disable=CL002 -- C <= 8 named demand rows
             for ci, kind in enumerate(group.kinds):
                 source = getattr(self, _ROW_SOURCE[kind])
                 stack[:, ci, :] = (source[bb[:, None], mm]
@@ -542,6 +564,7 @@ class _BatchEngine:
                     )
                 X, R = result.throughput, result.residence
                 np.add.at(self.cur_inner, bb, result.iterations)
+            # caratlint: disable=CL002 -- warm-start cache bookkeeping
             for row, i in enumerate(sel):
                 pair = group.pairs[i]
                 self.last_x[pair] = X[row]
@@ -552,7 +575,11 @@ class _BatchEngine:
                 self.sol_x[bb[:, None], mm] = X
 
     def _absorb(self, al: np.ndarray) -> np.ndarray:
-        """Record per-chain measures; return per-element residuals."""
+        """Record per-chain measures; return per-element residuals.
+
+        ``al`` is the ``(A,)`` vector of alive batch-row indices; the
+        return value is the matching ``(A,)`` residual vector.
+        """
         x = self.sol_x[al]
         prev = self.it["xput"][al]
         safe_prev = np.where(prev > 0.0, prev, 1.0)
@@ -576,12 +603,17 @@ class _BatchEngine:
         return change.max(axis=1)
 
     def _update_abort(self, al: np.ndarray) -> None:
-        """Step 3b: Pra and P_a, coupling sites through partners."""
+        """Step 3b: Pra and P_a, coupling sites through partners.
+
+        ``al`` is the ``(A,)`` vector of alive batch-row indices.
+        """
         damp, omd = self.damp[al], self.omd[al]
         pb, pd = self.it["pb"][al], self.it["pd"][al]
         pbpd = pb * pd
         hazard = 1.0 - (1.0 - pbpd) ** self.qv[al]
         hz = np.zeros_like(hazard)
+        # caratlint: disable=CL002 -- partner mass summed in state
+        # order (column by column) to mirror the scalar loops
         for j in range(self.M):
             col = self.partner[:, j]
             if not col.any():
@@ -610,6 +642,8 @@ class _BatchEngine:
             own_survive = np.maximum(survive, 1e-12)
             pa_sum = np.zeros_like(pa)
             else_sum = np.zeros_like(pa)
+            # caratlint: disable=CL002 -- coordinator fate averaged
+            # column by column in state order (bit-exact equivalence)
             for j in range(self.M):
                 col = self.partner[:, j]
                 if not col.any():
@@ -634,7 +668,10 @@ class _BatchEngine:
         self.it["ns"][al] = ns
 
     def _update_lock(self, al: np.ndarray) -> None:
-        """Step 3a: L_h, Pb, Pd, R_LW and the E[Y]/sigma refresh."""
+        """Step 3a: L_h, Pb, Pd, R_LW and the E[Y]/sigma refresh.
+
+        ``al`` is the ``(A,)`` vector of alive batch-row indices.
+        """
         damp, omd = self.damp[al], self.omd[al]
         locks = self.locks[al]
         think = self.think[al]
@@ -709,7 +746,10 @@ class _BatchEngine:
                                         ey / self.locks_safe[al])
 
     def _update_remote(self, al: np.ndarray) -> None:
-        """Step 3c: R_RW and R_CW from the fresh site solutions."""
+        """Step 3c: R_RW and R_CW from the fresh site solutions.
+
+        ``al`` is the ``(A,)`` vector of alive batch-row indices.
+        """
         damp, omd = self.damp[al], self.omd[al]
         alpha = self.alpha[al]
         cycle = self.it["cycle"][al]
@@ -719,6 +759,8 @@ class _BatchEngine:
         active = cycle - self.rw_d[al] - self.cw_d[al] - self.ut_d[al]
         active = np.maximum(0.0, active)
         tot_act = np.zeros_like(active)
+        # caratlint: disable=CL002 -- partner activity summed in state
+        # order to mirror the scalar loops
         for j in range(self.M):
             col = self.partner[:, j]
             if not col.any():
@@ -738,6 +780,8 @@ class _BatchEngine:
         wait_each = wait_num / (ns * self.lreq[al])[:, :, None]
         wait_sum = np.zeros_like(active)
         cw_sum = np.zeros_like(active)
+        # caratlint: disable=CL002 -- slave-side waits accumulated in
+        # state order to mirror the scalar loops
         for j in range(self.M):
             col = self.partner[:, j]
             if not col.any():
@@ -761,15 +805,21 @@ class _BatchEngine:
         self.it["r_cw"][al] = r_cw
 
     def _update_tms(self, al: np.ndarray) -> None:
-        """TM serialization surrogate (M/G/1 token wait, §5.5)."""
+        """TM serialization surrogate (M/G/1 token wait, §5.5).
+
+        ``al`` is the ``(A,)`` vector of alive batch-row indices.
+        """
         damp, omd = self.damp[al], self.omd[al]
         x = self.it["xput"][al]
         r_tms = self.it["r_tms"][al]
+        # caratlint: disable=CL002 -- per-site token queues: a handful
+        # of sites, members summed in state order for bit-exactness
         for members in self.site_members:
             if not members:
                 continue
             lam = (x[:, members[0]] * self.tmm[al][:, members[0]]).copy()
             busy = (x[:, members[0]] * self.tmh[al][:, members[0]]).copy()
+            # caratlint: disable=CL002 -- state-order accumulation
             for m in members[1:]:
                 lam = lam + x[:, m] * self.tmm[al][:, m]
                 busy = busy + x[:, m] * self.tmh[al][:, m]
@@ -778,6 +828,7 @@ class _BatchEngine:
             service = rho / safe_lam
             wait = np.where((lam > 0.0) & (rho > 0.0),
                             rho * service / (1.0 - rho), 0.0)
+            # caratlint: disable=CL002 -- scatter back per member chain
             for m in members:
                 r_tms[:, m] = (omd[:, 0] * r_tms[:, m]
                                + damp[:, 0] * wait)
@@ -798,7 +849,7 @@ class _BatchEngine:
                 model.config.tolerance, model.config.damping,
                 warm_started=bool(model._warm_start),
             )
-        clock = time.perf_counter if traced else None
+        clock = trace_clock() if traced else None
         prev_res = {b: None for b in traced}
 
         alive = np.ones(B, dtype=bool)

@@ -184,7 +184,7 @@ class SiteParameters:
         """Mean disk time of a granule read after buffer hits."""
         return self.block_io_ms * (1.0 - self.buffer_hit_probability)
 
-    def with_overrides(self, **changes) -> "SiteParameters":
+    def with_overrides(self, **changes) -> SiteParameters:
         """Copy with selected fields replaced (dataclass ``replace``).
 
         Note: overriding ``block_io_ms`` alone leaves the Table 2
@@ -194,7 +194,7 @@ class SiteParameters:
         """
         return replace(self, **changes)
 
-    def with_block_io(self, block_io_ms: float) -> "SiteParameters":
+    def with_block_io(self, block_io_ms: float) -> SiteParameters:
         """Copy with a different disk speed, rescaling every type's
         ``dmio_disk`` so the I/O *counts* per granule access are
         preserved (1 for reads, 3 for updates)."""

@@ -116,7 +116,7 @@ class ModelSolution:
     converged: bool
     #: Convergence diagnostics, populated only when the solve ran with
     #: a :class:`~repro.model.diagnostics.ConvergenceTrace` attached.
-    trace: "ConvergenceTrace | None" = field(default=None, compare=False,
+    trace: ConvergenceTrace | None = field(default=None, compare=False,
                                              repr=False)
 
     def site(self, name: str) -> SiteResult:

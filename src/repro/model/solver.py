@@ -172,6 +172,18 @@ class _ChainState:
     ut_demand_ms: float = 0.0
 
 
+def _built(demands: demands_mod.ChainDemands | None) \
+        -> demands_mod.ChainDemands:
+    """Narrow a state's ``demands`` after the rebuild phase has run.
+
+    Every read site follows a ``_rebuild_demands`` call, so ``None``
+    here is a solver-internal ordering bug, not a user error.
+    """
+    if demands is None:
+        raise ConfigurationError("chain demands read before rebuild")
+    return demands
+
+
 class CaratModel:
     """The distributed CARAT queueing network model.
 
@@ -242,7 +254,7 @@ class CaratModel:
             self._rebuild_demands(key[0], key[1], state)
             if key in warmed:
                 continue
-            d = state.demands
+            d = _built(state.demands)
             state.response_success_ms = (d.cpu_ms + d.db_disk_ms
                                          + d.log_disk_ms)
             state.active_success_ms = state.response_success_ms
@@ -387,7 +399,7 @@ class CaratModel:
         for (s, chain), state in self._state.items():
             if s != site_name:
                 continue
-            d = state.demands
+            d = _built(state.demands)
             cpu[chain.value] = d.cpu_ms
             disk[chain.value] = d.db_disk_ms
             logdisk[chain.value] = d.log_disk_ms
@@ -433,8 +445,10 @@ class CaratModel:
         populations = np.array([state.population for _, state in items],
                                dtype=np.int64)
         rows: list[tuple[str, bool, list[float]]] = [
-            ("cpu", False, [st.demands.cpu_ms for _, st in items]),
-            ("disk", False, [st.demands.db_disk_ms for _, st in items]),
+            ("cpu", False,
+             [_built(st.demands).cpu_ms for _, st in items]),
+            ("disk", False,
+             [_built(st.demands).db_disk_ms for _, st in items]),
             ("lw", True, [st.lw_demand_ms for _, st in items]),
             ("rw", True, [st.rw_demand_ms for _, st in items]),
             ("cw", True, [st.cw_demand_ms for _, st in items]),
@@ -442,7 +456,8 @@ class CaratModel:
         ]
         if site.log_on_separate_disk:
             rows.insert(2, ("logdisk", False,
-                            [st.demands.log_disk_ms for _, st in items]))
+                            [_built(st.demands).log_disk_ms
+                             for _, st in items]))
         if self.config.model_tm_serialization:
             rows.append(("tms", True,
                          [st.tm_messages * st.r_tms for _, st in items]))
@@ -859,7 +874,7 @@ ReferenceCaratModel` keeps the original scalar loop as the oracle
             center_names = [c.name for c in network.centers]
             chains: dict[ChainType, ChainResult] = {}
             for chain, state in self._chain_items(name):
-                d = state.demands
+                d = _built(state.demands)
                 residence = {
                     center: sol.chain_residence(center, chain.value)
                     for center in center_names

@@ -17,11 +17,9 @@ array-vs-scalar rounding.
 
 from __future__ import annotations
 
-import time
-
 from repro.errors import ConvergenceError
 from repro.model.diagnostics import (ConvergenceTrace, IterationRecord,
-                                     TRACKED_FIELDS)
+                                     TRACKED_FIELDS, trace_clock)
 from repro.model.results import ModelSolution
 from repro.model.solver import CaratModel
 from repro.queueing.network import NetworkSolution
@@ -75,7 +73,7 @@ class ReferenceCaratModel(CaratModel):
     def _solve_traced(self, diag: ConvergenceTrace) -> ModelSolution:
         """Instrumented twin of :meth:`solve` (same phases, same fixed
         point) that fills *diag* with one record per outer iteration."""
-        clock = time.perf_counter
+        clock = trace_clock()
         diag.begin_solve(
             self.workload.name, self.workload.requests_per_txn,
             self.config.tolerance, self.config.damping,

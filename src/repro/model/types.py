@@ -81,7 +81,7 @@ class ChainType(enum.Enum):
         return self in (ChainType.LRO, ChainType.LU)
 
     @property
-    def counterpart(self) -> "ChainType":
+    def counterpart(self) -> ChainType:
         """Slave chain of a coordinator and vice versa.
 
         Raises

@@ -173,7 +173,7 @@ class WorkloadSpec:
         return a * a / b + (1.0 - a) * (1.0 - a) / (1.0 - b)
 
     def with_hotspot(self, access_fraction: float,
-                     data_fraction: float) -> "WorkloadSpec":
+                     data_fraction: float) -> WorkloadSpec:
         """Copy of this workload with a hot-spot rule applied."""
         from dataclasses import replace
         return replace(self, hot_access_fraction=access_fraction,
@@ -213,7 +213,7 @@ class WorkloadSpec:
                                                           BaseType.DU)
         return populations
 
-    def with_requests(self, requests_per_txn: int) -> "WorkloadSpec":
+    def with_requests(self, requests_per_txn: int) -> WorkloadSpec:
         """Copy of this workload with a different transaction size."""
         from dataclasses import replace
         return replace(self, requests_per_txn=requests_per_txn)

@@ -28,6 +28,7 @@ saturation is an explicit :class:`~repro.errors.ConfigurationError`.
 
 from __future__ import annotations
 
+import contextlib
 import math
 from dataclasses import replace
 
@@ -436,13 +437,11 @@ def _zero_conflict_floor(evaluator: PlanEvaluator,
     that close to saturation (or the curve is unavailable), falls
     back to the analytic asymptote of the aggregated mix network.
     """
-    try:
+    with contextlib.suppress(ConfigurationError, ConvergenceError):
         curve = evaluator.zero_conflict_curve(grid)
         for m in grid:
             if curve[m] >= ZERO_CONFLICT_SATURATION:
                 return float(m)
-    except (ConfigurationError, ConvergenceError):
-        pass
     scaled = scale_to_mpl(evaluator.workload, evaluator.quantum)
     try:
         model = CaratModel(ModelConfig(workload=scaled,

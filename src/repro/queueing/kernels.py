@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.contracts import shape_contract
 from repro.queueing.network import ClosedNetwork, NetworkSolution
 
 __all__ = [
@@ -47,7 +48,7 @@ __all__ = [
 ]
 
 #: Cached lattice index structures, keyed by the population tuple.
-_LATTICE_CACHE: dict[tuple[int, ...], "_LatticeIndex"] = {}
+_LATTICE_CACHE: dict[tuple[int, ...], _LatticeIndex] = {}
 _LATTICE_CACHE_MAX = 64
 
 
@@ -78,7 +79,7 @@ class NetworkArrays:
     chains: tuple[str, ...]
 
     @classmethod
-    def from_network(cls, network: ClosedNetwork) -> "NetworkArrays":
+    def from_network(cls, network: ClosedNetwork) -> NetworkArrays:
         """Build the dense form of *network* (active chains only)."""
         chains = network.active_chains
         centers = tuple(c.name for c in network.centers)
@@ -130,6 +131,7 @@ class _LatticeIndex:
     __slots__ = ("levels", "final_flat")
 
     def __init__(self, populations: np.ndarray):
+        """Index the lattice of a ``(K,)`` ``populations`` vector."""
         dims = populations + 1
         K = len(dims)
         strides = np.ones(K, dtype=np.int64)
@@ -150,6 +152,8 @@ class _LatticeIndex:
 
 
 def _lattice_index(populations: np.ndarray) -> _LatticeIndex:
+    """Cached :class:`_LatticeIndex` for a ``(K,)`` ``populations``
+    vector (LRU-ish: oldest entry evicted beyond the cache cap)."""
     key = tuple(int(p) for p in populations)
     index = _LATTICE_CACHE.get(key)
     if index is None:
@@ -159,6 +163,8 @@ def _lattice_index(populations: np.ndarray) -> _LatticeIndex:
     return index
 
 
+@shape_contract(demands="(B, C, K) | (C, K)", delay="(C,)",
+                populations="(K,)")
 def solve_exact_batch(
     demands: np.ndarray,
     delay: np.ndarray,
@@ -209,6 +215,10 @@ def solve_exact_batch(
     # einsum reductions, which skips two (B, M, K, Cq) temporaries per
     # level on the hot path.
     with np.errstate(divide="ignore", invalid="ignore"):
+        # The exact MVA recursion is inherently sequential across
+        # lattice *levels* (level s needs level s-1); all points
+        # within a level update as one tensor op.
+        # caratlint: disable=CL002 -- sequential lattice recursion
         for flat, pts, active, pred in index.levels:
             one_plus = Q[:, pred]                   # (B, M, K, Cq)
             one_plus += 1.0
@@ -237,6 +247,8 @@ def solve_exact_batch(
     return X_final, residence
 
 
+@shape_contract(demands="(B, C, K) | (C, K)", delay="(C,)",
+                populations="(B, K) | (K,)", q0="(B, Cq, K)")
 def solve_schweitzer_batch(
     demands: np.ndarray,
     delay: np.ndarray,
@@ -317,6 +329,9 @@ def solve_schweitzer_batch(
     last_residual = np.full(B, np.inf)
     X_out = np.zeros((B, K))
     Rq_out = np.zeros((B, Cq, K))
+    # The damped fixed-point iteration is sequential by definition;
+    # each step is a whole-(B, Cq, K) tensor update.
+    # caratlint: disable=CL002 -- sequential fixed-point steps
     for iteration in range(max_iterations):
         S = Q.sum(axis=2)                            # (B, Cq)
         arrival = S[:, :, None] - Q / safe_n[:, None, :]
@@ -355,6 +370,8 @@ def solve_schweitzer_batch(
     )
 
 
+@shape_contract(demands="(B, C, K) | (C, K)", delay="(C,)",
+                populations="(B, K) | (K,)")
 def initial_queue(
     demands: np.ndarray,
     delay: np.ndarray,
@@ -391,6 +408,8 @@ def assemble_solution(
 ) -> NetworkSolution:
     """Build the dict-keyed :class:`NetworkSolution` from kernel output.
 
+    *throughput* and *residence* are one batch element's results —
+    ``(K,)`` and ``(C, K)`` in the layout of *arrays*.
     *all_chains* / *all_populations* extend the report to declared
     zero-population chains (reported as zeros, matching the reference
     solvers); by default only the active chains of *arrays* appear.

@@ -23,7 +23,8 @@ stale probes are harmless.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Generator
+from collections.abc import Callable, Generator
+from typing import TYPE_CHECKING
 
 from repro.testbed.des import Simulator, Timeout
 
@@ -55,7 +56,7 @@ class GlobalDetector:
         self.probes_sent = 0
         self.deadlocks_found = 0
 
-    def prober(self, txn_id: str, blocked_node: "CaratNode",
+    def prober(self, txn_id: str, blocked_node: CaratNode,
                abort_victim: Callable[[], None]) -> Generator:
         """Process body watching one blocked transaction.
 
@@ -82,7 +83,7 @@ class GlobalDetector:
             return
 
     def _chase(self, initiator: str,
-               start_node: "CaratNode") -> Generator:
+               start_node: CaratNode) -> Generator:
         """One edge chase; returns True when a cycle through the
         initiator exists (only cycles spanning >1 site reach here —
         single-site cycles are refused synchronously by the lock

@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Generator, Iterable
+from collections.abc import Generator, Iterable
+from typing import Any
 
 from repro.errors import SimulationError
 
@@ -38,7 +39,7 @@ class Event:
 
     __slots__ = ("_sim", "fired", "payload", "_waiters")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: Simulator):
         self._sim = sim
         self.fired = False
         self.payload: Any = None
@@ -54,7 +55,7 @@ class Event:
         for process in waiters:
             self._sim._schedule(self._sim.now, process, payload)
 
-    def add_waiter(self, process: "Process") -> None:
+    def add_waiter(self, process: Process) -> None:
         if self.fired:
             self._sim._schedule(self._sim.now, process, self.payload)
         else:
@@ -92,7 +93,7 @@ class Process:
 
     __slots__ = ("generator", "name", "done", "result", "completion")
 
-    def __init__(self, sim: "Simulator", generator: Generator,
+    def __init__(self, sim: Simulator, generator: Generator,
                  name: str = ""):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
@@ -105,7 +106,7 @@ class Process:
 class _Scheduled:
     time: float
     seq: int
-    process: "Process" = field(compare=False)
+    process: Process = field(compare=False)
     payload: Any = field(compare=False, default=None)
 
 

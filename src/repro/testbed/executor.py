@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import TYPE_CHECKING, Generator
+from collections.abc import Generator
+from typing import TYPE_CHECKING
 
 from repro.model.types import BaseType, Phase
 from repro.testbed.des import Fork, Timeout, Wait
@@ -42,7 +43,7 @@ ABORTED = "aborted"
 class UserProcess:
     """One user terminal submitting transactions of a fixed base type."""
 
-    def __init__(self, system: "CaratSimulation", home: str,
+    def __init__(self, system: CaratSimulation, home: str,
                  base: BaseType, user_index: int):
         self.system = system
         self.sim = system.sim
@@ -95,7 +96,7 @@ class UserProcess:
             self.home, self.base,
             self.sim.now - cycle_start, records)
 
-    def _mark(self, clock: "SpanClock | None", site: str,
+    def _mark(self, clock: SpanClock | None, site: str,
               phase: Phase) -> None:
         """Record a phase transition on the main driver timeline.
 
@@ -116,7 +117,7 @@ class UserProcess:
     # one execution attempt
     # ------------------------------------------------------------------
 
-    def _attempt(self, clock: "SpanClock | None" = None) -> Generator:
+    def _attempt(self, clock: SpanClock | None = None) -> Generator:
         """Run one submission; returns True on commit, False on abort."""
         txn = self._begin()
         if clock is not None:
@@ -144,7 +145,7 @@ class UserProcess:
 
     def _run_plan_serial(self, txn: Transaction, home: CaratNode,
                          plan: list[str],
-                         clock: "SpanClock | None" = None) -> Generator:
+                         clock: SpanClock | None = None) -> Generator:
         """CARAT semantics: one active request at a time."""
         for kind in plan:
             outcome = yield from self._one_request(txn, home, kind,
@@ -155,7 +156,7 @@ class UserProcess:
 
     def _run_plan_parallel(self, txn: Transaction, home: CaratNode,
                            plan: list[str],
-                           clock: "SpanClock | None" = None) -> Generator:
+                           clock: SpanClock | None = None) -> Generator:
         """§7 extension: the remote request stream runs as one forked
         branch, overlapping the coordinator's local requests; the two
         streams join before commit.
@@ -267,7 +268,7 @@ class UserProcess:
 
     def _one_request(self, txn: Transaction, home: CaratNode,
                      kind: str,
-                     clock: "SpanClock | None" = None) -> Generator:
+                     clock: SpanClock | None = None) -> Generator:
         """One TDO request; returns None or the abort-trigger site."""
         costs = home.params.costs_for(self._home_chain())
         metrics = self.system.metrics
@@ -313,7 +314,7 @@ class UserProcess:
         }[self.base]
 
     def _dm_request(self, txn: Transaction, node: CaratNode,
-                    clock: "SpanClock | None" = None) -> Generator:
+                    clock: SpanClock | None = None) -> Generator:
         """DM server executes one request at *node*; returns None on
         success or the node name on deadlock abort."""
         workload = self.system.workload
@@ -360,7 +361,7 @@ class UserProcess:
 
     def _acquire_lock(self, txn: Transaction, node: CaratNode,
                       granule: int,
-                      clock: "SpanClock | None" = None) -> Generator:
+                      clock: SpanClock | None = None) -> Generator:
         """LR phase: lock request, possible LW wait, deadlock handling."""
         costs = node.params.costs_for(self._home_chain())
         self._mark(clock, node.name, Phase.LR)
@@ -431,7 +432,7 @@ class UserProcess:
     # ------------------------------------------------------------------
 
     def _commit(self, txn: Transaction, home: CaratNode,
-                clock: "SpanClock | None" = None) -> Generator:
+                clock: SpanClock | None = None) -> Generator:
         """TEND: local commit or centralized two-phase commit."""
         protocol = home.params.protocol
         costs = home.params.costs_for(self._home_chain())
@@ -473,7 +474,7 @@ class UserProcess:
 
     def _parallel_round(self, txn: Transaction, home: CaratNode,
                         branches: list[Generator],
-                        clock: "SpanClock | None" = None) -> Generator:
+                        clock: SpanClock | None = None) -> Generator:
         """Run one 2PC round: branches in parallel, then one ack
         processed at the coordinator TM per slave.
 
@@ -537,7 +538,7 @@ class UserProcess:
     # ------------------------------------------------------------------
 
     def _rollback(self, txn: Transaction, trigger_site: str,
-                  clock: "SpanClock | None" = None) -> Generator:
+                  clock: SpanClock | None = None) -> Generator:
         """TA/TAIO phases: undo updates and release locks everywhere."""
         txn.aborted = True
         self.system.trace(TraceEventKind.ABORT, txn.txn_id,

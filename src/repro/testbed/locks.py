@@ -19,7 +19,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from repro.errors import SimulationError
 
@@ -32,7 +32,7 @@ class LockMode(enum.Enum):
     SHARED = "S"
     EXCLUSIVE = "X"
 
-    def compatible(self, other: "LockMode") -> bool:
+    def compatible(self, other: LockMode) -> bool:
         """S/S is the only compatible pairing."""
         return self is LockMode.SHARED and other is LockMode.SHARED
 

@@ -11,7 +11,7 @@ sizes.
 
 from __future__ import annotations
 
-from typing import Generator
+from collections.abc import Generator
 
 from repro.model.parameters import SiteParameters
 from repro.model.types import Phase

@@ -10,7 +10,8 @@ utilizations, completion counts for I/O rates).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Generator
+from collections.abc import Generator
+from typing import Any
 
 from repro.errors import SimulationError
 from repro.testbed.des import Event, Simulator, Timeout, Wait

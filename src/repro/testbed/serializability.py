@@ -36,7 +36,7 @@ class AccessRecord:
     mode: LockMode
     acquired_at: float
 
-    def conflicts_with(self, other: "AccessRecord") -> bool:
+    def conflicts_with(self, other: AccessRecord) -> bool:
         """Same item, at least one exclusive."""
         return (self.site == other.site
                 and self.granule == other.granule
@@ -65,7 +65,7 @@ class SerializabilityReport:
 
 
 def conflict_graph(
-        history: list[CommittedTransaction]) -> "nx.DiGraph":
+        history: list[CommittedTransaction]) -> nx.DiGraph:
     """Precedence graph over a committed history.
 
     Edges point from the transaction whose conflicting access came

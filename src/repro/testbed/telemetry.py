@@ -47,7 +47,8 @@ from __future__ import annotations
 import json
 from collections import defaultdict, deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Iterable
+from collections.abc import Iterable
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import ConfigurationError
 from repro.model.types import BaseType, Phase
@@ -136,7 +137,7 @@ class SpanClock:
     __slots__ = ("telemetry", "home", "base", "started_at", "txn_id",
                  "attempts", "_site", "_phase", "_since", "spans")
 
-    def __init__(self, telemetry: "Telemetry", home: str, base: BaseType,
+    def __init__(self, telemetry: Telemetry, home: str, base: BaseType,
                  now: float):
         self.telemetry = telemetry
         self.home = home
@@ -292,7 +293,7 @@ class Telemetry:
     # probe sampling (called by the system's probe process)
     # ------------------------------------------------------------------
 
-    def sample(self, system: "CaratSimulation") -> None:
+    def sample(self, system: CaratSimulation) -> None:
         """Take one observation of every site (read-only)."""
         now = system.sim.now
         last = self._last_sample_time

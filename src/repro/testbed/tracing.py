@@ -14,7 +14,8 @@ import enum
 import json
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Iterable
+from collections.abc import Iterable
+from typing import Any
 
 from repro.errors import ConfigurationError
 

@@ -1,0 +1,17 @@
+"""CL001 bad fixture: module-level RNG state and wall-clock reads.
+
+Linted as ``repro.testbed.sampler`` (the tests pass ``module=``).
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def draw() -> float:
+    return random.random() + float(np.random.rand())
+
+
+def stamp() -> float:
+    return time.time() + time.perf_counter()

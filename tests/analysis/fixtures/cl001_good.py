@@ -1,0 +1,11 @@
+"""CL001 good fixture: explicitly seeded generators, no wall clock."""
+
+import random
+
+import numpy as np
+
+
+def draw(seed: int) -> float:
+    rng = random.Random(seed)
+    gen = np.random.default_rng(seed)
+    return rng.random() + float(gen.random())

@@ -1,0 +1,14 @@
+"""CL002 bad fixture: Python loops inside a designated hot path.
+
+Linted as ``repro.queueing.kernels``, where ``solve_exact_batch`` is
+a designated kernel hot path.
+"""
+
+
+def solve_exact_batch(demands, delay, populations):
+    total = 0.0
+    for level in range(10):
+        total += level
+    while total > 100.0:
+        total /= 2.0
+    return total

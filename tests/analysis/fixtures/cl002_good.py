@@ -1,0 +1,15 @@
+"""CL002 good fixture: hot path stays on NumPy axes; loops are fine
+in functions that are not designated hot paths."""
+
+import numpy as np
+
+
+def solve_exact_batch(demands, delay, populations):
+    return np.sum(demands, axis=-1)
+
+
+def boundary_helper(items):
+    out = []
+    for item in items:
+        out.append(item)
+    return out

@@ -1,0 +1,17 @@
+"""CL003 bad fixture: ndarray parameters without shape contracts.
+
+Linted as ``repro.queueing.kernels``.
+"""
+
+import numpy as np
+
+
+def initial_queue(demands: np.ndarray, delay: np.ndarray):
+    """Seed the queue iterate (no parameter shapes documented)."""
+    return demands
+
+
+def solve_exact_batch(demands: np.ndarray):
+    """Solve over the demands array — mentions the parameter but
+    states no named shape tuple."""
+    return demands

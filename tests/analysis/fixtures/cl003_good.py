@@ -1,0 +1,19 @@
+"""CL003 good fixture: decorator or docstring shape contracts."""
+
+import numpy as np
+
+from repro.analysis.contracts import shape_contract
+
+
+@shape_contract(demands="(B, C, K) | (C, K)", delay="(C,)")
+def solve_exact_batch(demands: np.ndarray, delay: np.ndarray):
+    return demands
+
+
+def initial_queue(demands: np.ndarray, delay: np.ndarray):
+    """Seed the queue iterate.
+
+    ``demands`` is the stacked ``(B, C, K)`` demand tensor and
+    ``delay`` the ``(C,)`` delay-center mask.
+    """
+    return demands

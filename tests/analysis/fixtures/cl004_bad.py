@@ -1,0 +1,11 @@
+"""CL004 bad fixture: telemetry hooks mutating observed state.
+
+Linted as ``repro.testbed.telemetry``.
+"""
+
+
+class Telemetry:
+    def sample(self, system):
+        system.counter = 1
+        system.events.append("sampled")
+        del system.slots["old"]

@@ -1,0 +1,15 @@
+"""CL004 good fixture: hooks only read observed objects and write
+their own counters."""
+
+
+class Telemetry:
+    def __init__(self):
+        self.samples = []
+        self.total = 0
+
+    def sample(self, system):
+        self.samples.append(system.depth)
+        self.total += system.depth
+        snapshot = list(system.events)
+        snapshot.append("local copy only")
+        return snapshot

@@ -1,0 +1,11 @@
+"""CL005 bad fixture: dict-based solver facade inside a hot path.
+
+Linted as ``repro.queueing.kernels``.
+"""
+
+from repro.queueing.network import ClosedNetwork
+
+
+def solve_exact_batch(arrays):
+    network = ClosedNetwork(centers=(), populations={})
+    return network

@@ -1,0 +1,11 @@
+"""CL005 good fixture: the facade stays in boundary adapters."""
+
+from repro.queueing.network import ClosedNetwork
+
+
+def solve_exact_batch(arrays):
+    return arrays
+
+
+def boundary_adapter(centers, populations):
+    return ClosedNetwork(centers=centers, populations=populations)

@@ -1,0 +1,12 @@
+"""CL006 bad fixture: exact float-literal comparisons.
+
+Linted as ``repro.queueing.network``.
+"""
+
+
+def converged(residual: float) -> bool:
+    return residual == 1e-6
+
+
+def off_nominal(utilization: float) -> bool:
+    return utilization != 0.5

@@ -1,0 +1,10 @@
+"""CL006 good fixture: tolerance comparisons, and the sanctioned
+exact-zero structure test."""
+
+
+def converged(residual: float, tol: float) -> bool:
+    return abs(residual - 1e-6) < tol
+
+
+def chain_visits_center(demand: float) -> bool:
+    return demand != 0.0

@@ -1,0 +1,14 @@
+"""CL007 bad fixture: mutable default arguments."""
+
+
+def accumulate(value, into=[]):
+    into.append(value)
+    return into
+
+
+def tally(counts={}, *, seen=set()):
+    return counts, seen
+
+
+def stats(buckets=dict()):
+    return buckets

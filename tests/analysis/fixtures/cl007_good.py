@@ -1,0 +1,12 @@
+"""CL007 good fixture: None defaults, allocation in the body."""
+
+
+def accumulate(value, into=None):
+    if into is None:
+        into = []
+    into.append(value)
+    return into
+
+
+def tally(counts=None, *, seen=frozenset()):
+    return counts or {}, seen

@@ -1,0 +1,8 @@
+"""CL008 bad fixture: bare except clause."""
+
+
+def swallow(action):
+    try:
+        return action()
+    except:
+        return None

@@ -1,0 +1,16 @@
+"""CL008 good fixture: named exceptions; BaseException re-raised."""
+
+
+def tolerate(action):
+    try:
+        return action()
+    except ValueError:
+        return None
+
+
+def cleanup(action, undo):
+    try:
+        return action()
+    except BaseException:
+        undo()
+        raise

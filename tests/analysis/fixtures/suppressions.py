@@ -1,0 +1,23 @@
+"""Suppression-placement fixture: three silenced CL007 violations
+(same line, line above, inside the comment block above) and one that
+must still be reported."""
+
+
+def inline(items=[]):  # caratlint: disable=CL007 -- fixture
+    return items
+
+
+# caratlint: disable=CL007 -- fixture: line-above form
+def line_above(items=[]):
+    return items
+
+
+# A multi-line justification block: the directive may sit anywhere
+# caratlint: disable=CL007 -- fixture: comment-block form
+# in the contiguous comment block directly above the finding.
+def comment_block(items=[]):
+    return items
+
+
+def unsuppressed(items=[]):
+    return items

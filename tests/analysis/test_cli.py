@@ -1,0 +1,96 @@
+"""caratlint CLI surfaces: exit codes, formats, the ``repro lint``
+subcommand, and the ``tools/caratlint`` shim."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.cli import main as repro_main
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text("VALUE = 1\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text("def f(items=[]):\n    return items\n",
+                    encoding="utf-8")
+    return path
+
+
+def test_exit_zero_on_clean(clean_file, capsys):
+    assert lint_main([str(clean_file)]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(dirty_file, capsys):
+    assert lint_main([str(dirty_file)]) == 1
+    out = capsys.readouterr().out
+    assert "CL007" in out
+    assert f"{dirty_file}:1:" in out
+
+
+def test_exit_two_on_missing_path(tmp_path, capsys):
+    missing = tmp_path / "nope"
+    assert lint_main([str(missing)]) == 2
+    assert "caratlint" in capsys.readouterr().err
+
+
+def test_json_format_and_output_file(dirty_file, tmp_path):
+    report = tmp_path / "report.json"
+    code = lint_main([str(dirty_file), "--format", "json",
+                      "--output", str(report)])
+    assert code == 1
+    payload = json.loads(report.read_text(encoding="utf-8"))
+    assert payload["tool"] == "caratlint"
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule"] == "CL007"
+    assert len(payload["rules"]) >= 8
+
+
+def test_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("CL001", "CL008"):
+        assert rule_id in out
+
+
+def test_repro_lint_subcommand(dirty_file, clean_file, capsys):
+    assert repro_main(["lint", str(clean_file)]) == 0
+    capsys.readouterr()
+    assert repro_main(["lint", str(dirty_file)]) == 1
+    assert "CL007" in capsys.readouterr().out
+
+
+def test_tools_shim_runs_standalone(dirty_file):
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "caratlint"),
+         str(dirty_file), "--format", "json"],
+        capture_output=True, text=True, cwd=REPO)
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["findings"][0]["rule"] == "CL007"
+
+
+def test_directory_walk_skips_caches(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "ok.py").write_text("A = 1\n", encoding="utf-8")
+    cache = tmp_path / "pkg" / "__pycache__"
+    cache.mkdir()
+    (cache / "junk.py").write_text("def f(x=[]):\n    return x\n",
+                                   encoding="utf-8")
+    assert lint_main([str(tmp_path)]) == 0

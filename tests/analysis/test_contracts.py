@@ -1,0 +1,136 @@
+"""Runtime shape-contract semantics (repro.analysis.contracts)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.contracts import (ShapeContractError, checked,
+                                      shape_checks_enabled,
+                                      shape_contract)
+
+
+@shape_contract(demands="(B, C, K) | (C, K)", delay="(C,)",
+                populations="(K,)")
+def _kernel(demands, delay, populations=None):
+    return demands
+
+
+class TestZeroCostDefault:
+    def test_decorator_is_transparent_when_disabled(self, monkeypatch):
+        monkeypatch.delenv("CARAT_SHAPE_CHECKS", raising=False)
+        assert not shape_checks_enabled()
+
+        @shape_contract(x="(N,)")
+        def passthrough(x):
+            return x
+
+        # No wrapper: the function object is returned unchanged, only
+        # annotated with the parsed contract.
+        assert not hasattr(passthrough, "__wrapped__")
+        assert passthrough.__shape_contract__ == {"x": (("N",),)}
+        # And a wrong shape sails through, by design.
+        assert passthrough(np.zeros((2, 2))).shape == (2, 2)
+
+    def test_env_switch_enables_wrapping(self, monkeypatch):
+        monkeypatch.setenv("CARAT_SHAPE_CHECKS", "1")
+        assert shape_checks_enabled()
+
+        @shape_contract(x="(N,)")
+        def guarded(x):
+            return x
+
+        assert hasattr(guarded, "__wrapped__")
+        with pytest.raises(ShapeContractError):
+            guarded(np.zeros((2, 2)))
+
+
+class TestChecked:
+    def test_accepts_conforming_shapes(self):
+        solve = checked(_kernel)
+        demands = np.ones((3, 2, 4))
+        out = solve(demands, np.zeros(2), np.full(4, 2))
+        assert out.shape == (3, 2, 4)
+        # Alternative ndim: the (C, K) form of the same spec.
+        assert solve(np.ones((2, 4)), np.zeros(2),
+                     np.full(4, 2)).shape == (2, 4)
+
+    def test_error_names_argument_and_dimension(self):
+        solve = checked(_kernel)
+        demands = np.ones((3, 2, 4))
+        with pytest.raises(ShapeContractError) as exc:
+            solve(demands, np.zeros(2), np.full(3, 2))
+        message = str(exc.value)
+        assert "'populations'" in message
+        assert "'K'" in message
+        assert "expected 4" in message
+        assert "bound by argument 'demands'" in message
+
+    def test_wrong_ndim_reports_alternatives(self):
+        solve = checked(_kernel)
+        with pytest.raises(ShapeContractError) as exc:
+            solve(np.ones(5), np.zeros(5), np.zeros(5))
+        assert "(B, C, K) | (C, K)" in str(exc.value)
+
+    def test_none_arguments_are_skipped(self):
+        solve = checked(_kernel)
+        out = solve(np.ones((2, 4)), np.zeros(2), None)
+        assert out.shape == (2, 4)
+
+    def test_idempotent_on_enforcing_wrappers(self):
+        solve = checked(_kernel)
+        assert checked(solve) is solve
+
+    def test_requires_a_contract(self):
+        with pytest.raises(ValueError, match="no shape contract"):
+            checked(lambda x: x)
+
+
+class TestSpecGrammar:
+    def test_integer_and_wildcard_dimensions(self):
+        @shape_contract(m="(2, _)")
+        def fn(m):
+            return m
+
+        run = checked(fn)
+        assert run(np.zeros((2, 7))).shape == (2, 7)
+        with pytest.raises(ShapeContractError, match="expected exactly 2"):
+            run(np.zeros((3, 7)))
+
+    def test_bad_specs_fail_at_decoration(self):
+        with pytest.raises(ValueError, match="parenthesized"):
+            shape_contract(x="N,")(lambda x: x)
+        with pytest.raises(ValueError, match="bad dimension"):
+            shape_contract(x="(N-1,)")(lambda x: x)
+
+    def test_unknown_parameter_fails_at_decoration(self, monkeypatch):
+        monkeypatch.setenv("CARAT_SHAPE_CHECKS", "1")
+        with pytest.raises(ValueError, match="unknown"):
+            shape_contract(nope="(N,)")(lambda x: x)
+
+
+class TestProductionKernels:
+    def test_kernels_declare_contracts(self):
+        from repro.queueing import kernels
+
+        for fn in (kernels.solve_exact_batch,
+                   kernels.solve_schweitzer_batch,
+                   kernels.initial_queue):
+            contract = fn.__shape_contract__
+            assert "demands" in contract
+
+    def test_checked_kernel_rejects_transposed_demands(self):
+        from repro.queueing import kernels
+
+        solve = checked(kernels.solve_exact_batch)
+        demands = np.array([[1.0, 2.0], [0.5, 0.25], [0.1, 0.2]])
+        delay = np.array([False, False, True])
+        populations = np.array([3, 2])
+        # Conforming (C, K) orientation solves fine...
+        throughput, residence = solve(demands, delay, populations)
+        assert throughput.shape == (2,)
+        assert residence.shape == (3, 2)
+        # ...while the (K, C) transpose fails with a named dimension
+        # instead of a downstream broadcast error.
+        with pytest.raises(ShapeContractError, match="'C'|'K'"):
+            solve(demands.T, delay, populations)

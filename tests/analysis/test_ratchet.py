@@ -1,0 +1,67 @@
+"""Pin the lint/typing ratchet in pyproject.toml.
+
+The mypy exemption list only ever shrinks: the analysis, queueing,
+planner and model packages are fully checked, and the legacy remainder
+is exactly the testbed/experiments trees.  Re-widening the list (or
+dropping a ruff rule family) must fail a test, not slip through
+review.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from pathlib import Path
+
+import pytest
+
+PYPROJECT = Path(__file__).resolve().parents[2] / "pyproject.toml"
+
+#: The only module patterns that may still opt out of type checking.
+ALLOWED_EXEMPTIONS = {"repro.testbed.*", "repro.experiments.*"}
+
+
+@pytest.fixture(scope="module")
+def pyproject():
+    return tomllib.loads(PYPROJECT.read_text(encoding="utf-8"))
+
+
+def test_mypy_exemptions_only_cover_the_legacy_remainder(pyproject):
+    overrides = pyproject["tool"]["mypy"]["overrides"]
+    exempt: set[str] = set()
+    for override in overrides:
+        modules = override["module"]
+        if isinstance(modules, str):
+            modules = [modules]
+        if override.get("ignore_errors"):
+            exempt.update(modules)
+        else:
+            exempt.difference_update(modules)
+    assert exempt <= ALLOWED_EXEMPTIONS, (
+        f"mypy ratchet widened: {sorted(exempt - ALLOWED_EXEMPTIONS)} "
+        "— fix the type errors instead of re-exempting modules")
+
+
+def test_solver_packages_are_not_exempt(pyproject):
+    overrides = pyproject["tool"]["mypy"]["overrides"]
+    for override in overrides:
+        if not override.get("ignore_errors"):
+            continue
+        modules = override["module"]
+        if isinstance(modules, str):
+            modules = [modules]
+        for pattern in modules:
+            root = pattern.split(".*")[0]
+            assert not root.startswith((
+                "repro.analysis", "repro.queueing", "repro.planner",
+                "repro.model")), (
+                f"{pattern}: the tensor solve path must stay typed")
+
+
+def test_ruff_selects_the_extended_families(pyproject):
+    select = set(pyproject["tool"]["ruff"]["lint"]["select"])
+    assert {"E4", "E7", "E9", "F", "B", "UP", "SIM"} <= select
+
+
+def test_ruff_ignores_stay_documented_and_minimal(pyproject):
+    ignore = set(pyproject["tool"]["ruff"]["lint"].get("ignore", []))
+    assert ignore <= {"B905", "SIM108"}

@@ -1,0 +1,25 @@
+"""The repository's own source must lint clean.
+
+This is the test-side twin of the CI caratlint gate: a rule change
+that trips on production code (or a production change that violates a
+rule) fails here before it fails in CI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro.analysis  # noqa: F401  (populates the rule registry)
+from repro.analysis.core import all_rules, lint_paths
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_src_lints_clean():
+    findings = lint_paths([REPO / "src"])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_registry_has_the_advertised_catalog():
+    ids = {rule.rule_id for rule in all_rules()}
+    assert {f"CL{n:03d}" for n in range(1, 9)} <= ids

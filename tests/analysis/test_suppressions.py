@@ -1,0 +1,68 @@
+"""Suppression-comment semantics of the caratlint driver."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro.analysis  # noqa: F401  (populates the rule registry)
+from repro.analysis.core import lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_placement_forms_silence_and_unsuppressed_survives():
+    findings = lint_file(FIXTURES / "suppressions.py",
+                         module="repro.tools")
+    assert [f.rule for f in findings] == ["CL007"]
+    line = findings[0].line
+    source = (FIXTURES / "suppressions.py").read_text(
+        encoding="utf-8").splitlines()
+    assert "unsuppressed" in source[line - 1]
+
+
+def test_disable_file_is_rule_specific():
+    findings = lint_file(FIXTURES / "suppress_file.py",
+                         module="repro.tools")
+    # Both bare excepts are silenced file-wide; the mutable default
+    # is a different rule and must still be reported.
+    assert [f.rule for f in findings] == ["CL007"]
+
+
+def test_multiple_ids_one_directive(tmp_path):
+    snippet = tmp_path / "snippet.py"
+    snippet.write_text(
+        "# caratlint: disable=CL007,CL008 -- test\n"
+        "def f(items=[]):\n"
+        "    try:\n"
+        "        return items\n"
+        "    except:\n"
+        "        return None\n",
+        encoding="utf-8")
+    # The comma-list silences CL007 on the def line (line above the
+    # directive's target); the bare except sits further down and is
+    # outside the directive's reach.
+    findings = lint_file(snippet, module="repro.tools")
+    assert [f.rule for f in findings] == ["CL008"]
+
+
+def test_directive_in_string_literal_is_inert(tmp_path):
+    snippet = tmp_path / "snippet.py"
+    snippet.write_text(
+        'TEXT = "# caratlint: disable-file=CL007"\n'
+        "def f(items=[]):\n"
+        "    return items\n",
+        encoding="utf-8")
+    findings = lint_file(snippet, module="repro.tools")
+    assert [f.rule for f in findings] == ["CL007"]
+
+
+def test_blank_line_breaks_the_comment_block(tmp_path):
+    snippet = tmp_path / "snippet.py"
+    snippet.write_text(
+        "# caratlint: disable=CL007 -- too far away\n"
+        "\n"
+        "def f(items=[]):\n"
+        "    return items\n",
+        encoding="utf-8")
+    findings = lint_file(snippet, module="repro.tools")
+    assert [f.rule for f in findings] == ["CL007"]

@@ -167,3 +167,40 @@ class TestDegenerateCorners:
                              max_iterations=2000,
                              raise_on_nonconvergence=False)
         _solve_both([config])
+
+
+class TestShapeEnforcedSolvePath:
+    """Satellite wiring: run the full tensor solve with the MVA
+    kernels wrapped by ``checked()``, so every (B, C, K) array the
+    outer engine hands them is validated against the declared
+    contracts and a layout regression fails with a named-dimension
+    error instead of a broadcast traceback."""
+
+    @pytest.fixture()
+    def enforced(self, monkeypatch):
+        from repro.analysis.contracts import checked
+        from repro.model import outer
+        from repro.queueing import kernels
+
+        monkeypatch.setattr(outer, "solve_exact_batch",
+                            checked(kernels.solve_exact_batch))
+        monkeypatch.setattr(outer, "solve_schweitzer_batch",
+                            checked(kernels.solve_schweitzer_batch))
+        monkeypatch.setattr(outer, "initial_queue",
+                            checked(kernels.initial_queue))
+
+    @pytest.mark.parametrize("mva", ["exact", "approx"])
+    def test_paper_workload_solves_under_enforcement(self, enforced,
+                                                     mva):
+        config = ModelConfig(workload=STANDARD_WORKLOADS["MB4"](),
+                             sites=paper_sites(), mva=mva,
+                             max_iterations=1000)
+        _solve_both([config])
+
+    def test_mixed_batch_solves_under_enforcement(self, enforced):
+        configs = [
+            ModelConfig(workload=STANDARD_WORKLOADS[name](),
+                        sites=paper_sites(), max_iterations=1000)
+            for name in ("LB8", "MB4")
+        ]
+        _solve_both(configs)

@@ -12,9 +12,13 @@ convergence) are pinned here too.
 
 import random
 
+import numpy as np
 import pytest
 
+from repro.analysis.contracts import ShapeContractError, checked
 from repro.errors import ConfigurationError, ConvergenceError
+from repro.queueing import kernels, mva_approx, mva_exact
+from repro.queueing.kernels import NetworkArrays
 from repro.queueing.centers import CenterKind, ServiceCenter
 from repro.queueing.mva_approx import (solve_mva_approx,
                                        solve_mva_approx_batch)
@@ -273,3 +277,77 @@ class TestPaperWorkloads:
             assert_solutions_close(
                 solve_mva_approx(net, tolerance=1e-12),
                 reference_mva_approx(net, tolerance=1e-12))
+
+
+class TestShapeContracts:
+    """The kernels run under *enforced* shape contracts here
+    (``checked()`` wraps the ``@shape_contract`` declarations), so a
+    layout regression in the facade adapters fails with a
+    named-dimension :class:`ShapeContractError` instead of a NumPy
+    broadcast traceback three frames deeper."""
+
+    @staticmethod
+    def _asymmetric_network():
+        """C=3 queueing centers over K=2 chains, so a transposed or
+        axis-swapped array can never be shape-coincidentally valid."""
+        return ClosedNetwork(
+            centers=(
+                ServiceCenter("cpu", CenterKind.QUEUEING,
+                              {"a": 1.0, "b": 0.5}),
+                ServiceCenter("disk", CenterKind.QUEUEING,
+                              {"a": 2.0, "b": 1.5}),
+                ServiceCenter("log", CenterKind.QUEUEING,
+                              {"a": 0.7, "b": 0.9}),
+            ),
+            populations={"a": 4, "b": 3},
+        )
+
+    @pytest.fixture()
+    def enforced(self, monkeypatch):
+        monkeypatch.setattr(mva_exact, "solve_exact_batch",
+                            checked(kernels.solve_exact_batch))
+        monkeypatch.setattr(mva_approx, "solve_schweitzer_batch",
+                            checked(kernels.solve_schweitzer_batch))
+
+    def test_facades_satisfy_contracts(self, enforced):
+        rng = random.Random(314)
+        for _ in range(40):
+            net = random_network(rng)
+            assert_solutions_close(solve_mva_exact(net),
+                                   reference_mva_exact(net))
+            assert_solutions_close(
+                solve_mva_approx(net, tolerance=1e-12),
+                reference_mva_approx(net, tolerance=1e-12))
+
+    def test_transposed_demands_fail_with_named_dimension(self):
+        arrays = NetworkArrays.from_network(self._asymmetric_network())
+        solve = checked(kernels.solve_exact_batch)
+        throughput, _ = solve(arrays.demands, arrays.delay,
+                              arrays.populations)
+        assert throughput.shape == arrays.populations.shape
+        with pytest.raises(ShapeContractError) as exc:
+            solve(arrays.demands.T, arrays.delay, arrays.populations)
+        assert "dimension" in str(exc.value)
+
+    def test_truncated_populations_name_the_bound_argument(self):
+        arrays = NetworkArrays.from_network(self._asymmetric_network())
+        solve = checked(kernels.solve_schweitzer_batch)
+        with pytest.raises(ShapeContractError) as exc:
+            solve(arrays.demands[None], arrays.delay,
+                  arrays.populations[:1][None])
+        message = str(exc.value)
+        assert "'K'" in message
+        assert "bound by argument 'demands'" in message
+
+    def test_bad_q0_layout_is_rejected(self):
+        arrays = NetworkArrays.from_network(self._asymmetric_network())
+        queue = checked(kernels.initial_queue)(
+            arrays.demands[None], arrays.delay,
+            arrays.populations[None])
+        solve = checked(kernels.solve_schweitzer_batch)
+        solve(arrays.demands[None], arrays.delay,
+              arrays.populations[None], q0=queue)
+        with pytest.raises(ShapeContractError):
+            solve(arrays.demands[None], arrays.delay,
+                  arrays.populations[None],
+                  q0=np.swapaxes(queue, 1, 2))
