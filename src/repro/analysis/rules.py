@@ -1,4 +1,4 @@
-"""caratlint rule catalog (CL001–CL008).
+"""caratlint rule catalog (CL001–CL009).
 
 Each rule encodes a repo convention that used to live only in review
 comments or runtime tests; the catalog with rationale and examples is
@@ -15,6 +15,7 @@ from collections.abc import Iterator
 
 from repro.analysis.core import (Finding, ModuleContext, Rule,
                                  register)
+from repro.obs.metrics import NAME_GRAMMAR
 
 __all__ = ["HOT_PATHS"]
 
@@ -117,7 +118,9 @@ class UnseededNondeterminism(Rule):
         scoped = (module == "repro.testbed"
                   or module.startswith("repro.testbed.")
                   or module == "repro.model"
-                  or module.startswith("repro.model."))
+                  or module.startswith("repro.model.")
+                  or module == "repro.obs"
+                  or module.startswith("repro.obs."))
         return scoped and module not in self._EXEMPT
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
@@ -535,3 +538,96 @@ class BareExcept(Rule):
                     "bare 'except:' — catch a named exception "
                     "class (or BaseException with an immediate "
                     "re-raise)")
+
+
+# ---------------------------------------------------------------------------
+# CL009 — obs metric/span names follow the layer.noun_verb grammar
+# ---------------------------------------------------------------------------
+
+#: Modules whose imports bind obs API names (``from repro.obs import
+#: metrics as obs`` and friends).
+_OBS_MODULES = frozenset({"repro.obs", "repro.obs.metrics",
+                          "repro.obs.spans"})
+
+#: obs API entry points whose first argument is a metric/span name.
+_OBS_NAMED_CALLS = frozenset({"add", "set_gauge", "observe", "span",
+                              "record_span"})
+
+
+@register
+class ObsNamingGrammar(Rule):
+    """Metric and span names are the join keys of every exported
+    timeline and dashboard; one ``CamelCase`` or flat name fragments
+    the namespace forever (renaming breaks recorded baselines).  The
+    grammar is enforced at first use at runtime
+    (:func:`repro.obs.metrics.validate_name`); this rule moves the
+    failure to lint time for every *literal* name.  Two detectors:
+    calls through imported obs API names are always checked, and
+    ``.add()``/``.observe()``/``.set_gauge()``-style method calls are
+    checked when the literal already looks dotted.  Names built at
+    runtime are out of static reach and stay covered by the runtime
+    validator."""
+
+    rule_id = "CL009"
+    title = "obs metric/span name off the layer.noun_verb grammar"
+    rationale = ("observability: metric and span names must match "
+                 "the lowercase dotted grammar (layer.noun_verb) so "
+                 "exports aggregate and dashboards stay stable")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        modules, functions = self._obs_bindings(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant)
+                    and isinstance(first.value, str)):
+                continue
+            name = first.value
+            if not self._is_obs_call(node.func, name, modules,
+                                     functions):
+                continue
+            if not NAME_GRAMMAR.match(name):
+                yield self.finding(
+                    ctx, first,
+                    f"obs name {name!r} breaks the naming grammar — "
+                    "use lowercase dotted layer.noun_verb segments "
+                    "(e.g. 'cache.hits', 'runner.sweep_solve')")
+
+    @staticmethod
+    def _obs_bindings(
+            tree: ast.Module) -> tuple[set[str], set[str]]:
+        """Local names bound to obs modules and obs API functions."""
+        modules: set[str] = set()
+        functions: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            if node.module == "repro":
+                modules.update(alias.asname or alias.name
+                               for alias in node.names
+                               if alias.name == "obs")
+            elif node.module in _OBS_MODULES:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if alias.name in ("metrics", "spans"):
+                        modules.add(bound)
+                    elif alias.name in _OBS_NAMED_CALLS:
+                        functions.add(bound)
+        return modules, functions
+
+    @staticmethod
+    def _is_obs_call(func: ast.expr, name: str, modules: set[str],
+                     functions: set[str]) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id in functions
+        if isinstance(func, ast.Attribute) \
+                and func.attr in _OBS_NAMED_CALLS:
+            if isinstance(func.value, ast.Name) \
+                    and func.value.id in modules:
+                return True
+            # Registry method call on an arbitrary receiver: only a
+            # literal that already looks like a dotted metric name is
+            # attributable to obs without type information.
+            return "." in name
+        return False

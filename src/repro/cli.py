@@ -25,6 +25,11 @@ Subcommands
     Capacity planner: search the throughput-optimal MPL, check SLOs
     and evaluate hardware what-ifs over the analytic model
     (docs/planner.md).
+``stats``
+    Run experiments / a plan / the perf suite under the run-level
+    observability substrate and print per-stage and per-worker
+    summaries, with optional Chrome-trace and Prometheus dumps
+    (docs/observability.md).
 ``list``
     List the available experiments and workloads, with the
     operational-bounds pre-screen per workload.
@@ -235,6 +240,36 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit the plan as JSON")
     plan.add_argument("--output", default="-",
                       help="file path or '-' for stdout")
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a sweep/plan/perf target under the observability "
+             "substrate and print stage/worker summaries "
+             "(docs/observability.md)")
+    stats.add_argument(
+        "targets", nargs="+",
+        choices=sorted(EXPERIMENTS) + ["plan", "perf"],
+        help="experiment ids (share one sweep batch), 'plan' (capacity "
+             "plan with the standard what-if menu) or 'perf' (one "
+             "perf-suite experiment)")
+    stats.add_argument("--quick", action="store_true",
+                       help="short simulation window (smoke test)")
+    stats.add_argument("--model-only", action="store_true",
+                       help="skip the simulator (experiment targets)")
+    stats.add_argument("--workload", type=str.upper,
+                       choices=sorted(STANDARD_WORKLOADS), default="MB8",
+                       help="workload mix for the 'plan' target")
+    stats.add_argument("-n", "--requests", type=int, default=8,
+                       help="requests per transaction ('plan' target)")
+    stats.add_argument("--mpl-max", type=int, default=24,
+                       help="per-site MPL ceiling ('plan' target)")
+    stats.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write the merged Chrome trace_event JSON "
+                            "(load in Perfetto / chrome://tracing)")
+    stats.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the metrics dump in Prometheus "
+                            "textfile format")
+    _sweep_args(stats)
 
     lint = sub.add_parser(
         "lint",
@@ -556,6 +591,52 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _run_stats_targets(args) -> None:
+    """Dispatch the ``stats`` targets under the active registry."""
+    from repro.experiments.catalog import experiment_specs
+    exp_ids = [t for t in args.targets if t in EXPERIMENTS]
+    if exp_ids:
+        specs = experiment_specs(exp_ids)
+        duration = 120_000.0 if args.quick else 600_000.0
+        _run_specs(specs, args, duration)
+    if "plan" in args.targets:
+        from repro.planner import PlanSpec, plan, standard_candidates
+        workload = STANDARD_WORKLOADS[args.workload](args.requests)
+        spec = PlanSpec(workload=workload, mpl_max=args.mpl_max,
+                        whatif=standard_candidates())
+        plan(spec, jobs=args.jobs if args.jobs > 0 else None,
+             use_cache=args.cached)
+    if "perf" in args.targets:
+        from repro.experiments.perf import run_suite
+        run_suite(("tab3",))
+
+
+def _cmd_stats(args) -> int:
+    from repro.model.diagnostics import trace_clock
+    from repro.obs import MetricsRegistry, recording, span
+    from repro.obs.export import to_chrome_trace, to_prometheus
+    from repro.obs.report import render_stats_report
+
+    registry = MetricsRegistry()
+    clock = trace_clock()
+    start = clock()
+    with recording(registry), \
+            span("stats.run", targets=" ".join(args.targets),
+                 jobs=args.jobs):
+        _run_stats_targets(args)
+    wall_ms = (clock() - start) * 1e3
+    print(render_stats_report(registry, wall_ms))
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(to_chrome_trace(registry) + "\n")
+        print(f"wrote {args.trace_out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus(registry))
+        print(f"wrote {args.metrics_out}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.cli import main as lint_main
     argv = list(args.paths)
@@ -592,6 +673,7 @@ def main(argv: list[str] | None = None) -> int:
         "sensitivity": _cmd_sensitivity,
         "export": _cmd_export,
         "plan": _cmd_plan,
+        "stats": _cmd_stats,
         "lint": _cmd_lint,
         "list": _cmd_list,
     }

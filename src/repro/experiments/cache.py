@@ -37,6 +37,7 @@ import tempfile
 from pathlib import Path
 
 from repro.model.parameters import SiteParameters, paper_sites
+from repro.obs import metrics as obs
 from repro.experiments.runner import ExperimentResult, ExperimentSpec, \
     SweepPoint
 
@@ -272,6 +273,7 @@ def fetch_or_run_many(
     model_kwargs.setdefault("max_iterations", 1000)
     cache = cache or ResultCache()
     stats = stats if stats is not None else CacheStats()
+    hits_before, misses_before = stats.hits, stats.misses
     digests = [
         run_digest(spec, sites, sim_seed, sim_warmup_ms,
                    sim_duration_ms, run_simulation, model_kwargs,
@@ -308,7 +310,27 @@ def fetch_or_run_many(
                 cache.put(digests[i], result.points)
             results[i] = ExperimentResult(spec=specs[i],
                                           points=result.points)
+    _emit_cache_metrics(stats.hits - hits_before,
+                        stats.misses - misses_before)
     return [results[i] for i in range(len(specs))]
+
+
+def _emit_cache_metrics(hits: int, misses: int) -> None:
+    """Publish one batch's hit/miss deltas to the obs registry.
+
+    The hit-rate gauge is cumulative over the registry's lifetime
+    (recomputed from the merged counters), so a run of several batches
+    reports its overall rate, not the last batch's.  No-op detached.
+    """
+    registry = obs.active()
+    if registry is None:
+        return
+    registry.add("cache.hits", float(hits))
+    registry.add("cache.misses", float(misses))
+    total_hits = registry.counters.get("cache.hits", 0.0)
+    requests = total_hits + registry.counters.get("cache.misses", 0.0)
+    registry.set_gauge("cache.hit_rate",
+                       total_hits / requests if requests else 0.0)
 
 
 def fetch_or_run(spec: ExperimentSpec, *args, **kwargs) -> ExperimentResult:

@@ -22,14 +22,22 @@ same seed and flags the two paths return bit-identical
 
 from __future__ import annotations
 
+import contextlib
+import json
 import multiprocessing
 import os
+import shutil
+import tempfile
 import traceback
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.errors import CaratError
+from repro.model.diagnostics import trace_clock
 from repro.model.parameters import SiteParameters, paper_sites
 from repro.model.workload import WorkloadSpec
+from repro.obs import metrics as obs
+from repro.obs.spans import span
 from repro.experiments.runner import (ExperimentResult, ExperimentSpec,
                                       SweepPoint, assemble_points,
                                       solve_sweep_models)
@@ -82,8 +90,15 @@ class _CallTask:
     kwargs: dict
 
 
-def _execute(task):
-    """Run one task (in a worker process or inline)."""
+def _task_kind(task) -> str:
+    if isinstance(task, _ModelTask):
+        return "model"
+    if isinstance(task, _SimTask):
+        return "sim"
+    return "call"
+
+
+def _dispatch(task):
     if isinstance(task, _ModelTask):
         return solve_sweep_models(list(task.workloads), task.sites,
                                   task.model_kwargs,
@@ -96,19 +111,55 @@ def _execute(task):
                     duration_ms=task.duration_ms)
 
 
-def _worker(in_queue, out_queue) -> None:
-    """Worker loop: pull tasks until the ``None`` sentinel."""
-    while True:
-        item = in_queue.get()
-        if item is None:
-            return
-        index, task = item
-        try:
-            out_queue.put((index, True, _execute(task)))
-        except BaseException as exc:  # ship the failure to the parent
-            out_queue.put((index, False,
-                           (f"{type(exc).__name__}: {exc}",
-                            traceback.format_exc())))
+def _execute(task):
+    """Run one task (in a worker process or inline).
+
+    With a metrics registry installed the task runs inside a
+    ``parallel.task_run`` span and feeds the task-latency histogram;
+    detached, it goes straight to the dispatcher.
+    """
+    if obs.active() is None:
+        return _dispatch(task)
+    clock = trace_clock()
+    start = clock()
+    with span("parallel.task_run", kind=_task_kind(task)):
+        result = _dispatch(task)
+    obs.observe("parallel.task_ms", (clock() - start) * 1e3)
+    obs.add("parallel.tasks_completed")
+    return result
+
+
+def _worker(in_queue, out_queue, spool_path=None,
+            worker_index: int = 0) -> None:
+    """Worker loop: pull tasks until the ``None`` sentinel.
+
+    *spool_path* is set when the parent had a metrics registry
+    installed at fan-out: the worker then records into a **fresh**
+    registry of its own (the forked copy of the parent's would be
+    double-counted once the parent merges the spool) and dumps it as
+    JSON at exit for the parent to fold in at join.
+    """
+    registry = None
+    if spool_path is not None:
+        registry = obs.MetricsRegistry(worker=f"worker-{worker_index}")
+        obs.install(registry)
+    with span("parallel.worker_loop", worker=worker_index):
+        while True:
+            item = in_queue.get()
+            if item is None:
+                break
+            index, task = item
+            try:
+                out_queue.put((index, True, _execute(task)))
+            except BaseException as exc:  # ship failure to the parent
+                obs.add("parallel.tasks_failed")
+                out_queue.put((index, False,
+                               (f"{type(exc).__name__}: {exc}",
+                                traceback.format_exc())))
+    if registry is not None:
+        with contextlib.suppress(OSError):
+            with open(spool_path, "w", encoding="utf-8") as handle:
+                json.dump(registry.to_dict(), handle)
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -127,6 +178,9 @@ def _fan_out(tasks: list, jobs: int) -> list:
     """
     if jobs <= 1 or len(tasks) <= 1:
         return [_execute(task) for task in tasks]
+    registry = obs.active()
+    spool_dir = (Path(tempfile.mkdtemp(prefix="carat-obs-"))
+                 if registry is not None else None)
     ctx = multiprocessing.get_context(
         "fork" if "fork" in multiprocessing.get_all_start_methods()
         else "spawn")
@@ -140,9 +194,16 @@ def _fan_out(tasks: list, jobs: int) -> list:
         in_queue.put(item)
     for _ in range(workers):
         in_queue.put(None)
-    processes = [ctx.Process(target=_worker, args=(in_queue, out_queue),
-                             daemon=True)
-                 for _ in range(workers)]
+    processes = [
+        ctx.Process(
+            target=_worker,
+            args=(in_queue, out_queue,
+                  None if spool_dir is None
+                  else str(spool_dir / f"worker-{w:04d}.json"),
+                  w),
+            daemon=True)
+        for w in range(workers)
+    ]
     for process in processes:
         process.start()
     results: list = [None] * len(tasks)
@@ -157,12 +218,31 @@ def _fan_out(tasks: list, jobs: int) -> list:
     finally:
         for process in processes:
             process.join()
+        if registry is not None and spool_dir is not None:
+            _merge_spools(registry, spool_dir)
     if failures:
         index, message, trace = failures[0]
         raise ParallelExecutionError(
             f"{len(failures)} of {len(tasks)} sweep tasks failed; "
             f"first failure (task {index}): {message}\n{trace}")
     return results
+
+
+def _merge_spools(registry, spool_dir: Path) -> None:
+    """Fold the workers' spooled registries into the parent's.
+
+    Spools merge in worker order, so repeated runs aggregate
+    deterministically; a missing or corrupt spool (a worker that died
+    mid-run) loses only that worker's telemetry, never the run.
+    """
+    try:
+        for path in sorted(spool_dir.glob("*.json")):
+            with contextlib.suppress(OSError, ValueError, KeyError,
+                                     TypeError):
+                with open(path, encoding="utf-8") as handle:
+                    registry.merge(json.load(handle))
+    finally:
+        shutil.rmtree(spool_dir, ignore_errors=True)
 
 
 def map_calls(fn, items: list, jobs: int | None = None,
@@ -223,7 +303,9 @@ def run_experiments(
             for i, workloads in enumerate(sweeps)
             for j, workload in enumerate(workloads)
         ]
-    outputs = _fan_out(tasks, jobs)
+    with span("runner.sweep_run", specs=len(specs), jobs=jobs,
+              tasks=len(tasks)):
+        outputs = _fan_out(tasks, jobs)
 
     solutions = {task.spec_index: output
                  for task, output in zip(tasks, outputs)

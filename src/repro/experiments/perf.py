@@ -652,7 +652,8 @@ def main(argv: list[str] | None = None) -> int:
             f"BENCH {record.name}: cold {record.wall_ms_cold:.0f} ms, "
             f"warm {record.wall_ms_warm:.0f} ms, "
             f"{record.model_iterations} model iterations, "
-            f"cache hit rate {record.cache_hit_rate:.2f}"
+            f"cache hit rate {record.cache_hit_rate:.2f} "
+            f"({record.cache_hits} hits / {record.cache_misses} misses)"
         )
         print(line)
     kernel = None if args.no_kernels else run_kernel_bench()

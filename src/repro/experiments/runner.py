@@ -16,6 +16,7 @@ from collections.abc import Callable
 
 from repro.model.diagnostics import ConvergenceTrace
 from repro.model.parameters import SiteParameters, paper_sites
+from repro.obs.spans import span
 from repro.model.results import ModelSolution
 from repro.model.solver import CaratModel, ModelConfig
 from repro.model.types import BaseType
@@ -174,25 +175,28 @@ def solve_sweep_models(
 
     model_kwargs = dict(model_kwargs or {})
     model_kwargs.setdefault("max_iterations", 1000)
-    if not warm_start:
-        models = [
-            CaratModel(
+    with span("runner.sweep_solve", points=len(workloads),
+              warm_start=warm_start):
+        if not warm_start:
+            models = [
+                CaratModel(
+                    ModelConfig(workload=workload, sites=sites,
+                                **model_kwargs),
+                    diagnostics=ConvergenceTrace() if trace else None)
+                for workload in workloads
+            ]
+            return solve_outer_batch(models)
+        solutions: list[ModelSolution] = []
+        seed = None
+        for workload in workloads:
+            model = CaratModel(
                 ModelConfig(workload=workload, sites=sites,
                             **model_kwargs),
+                warm_start=seed,
                 diagnostics=ConvergenceTrace() if trace else None)
-            for workload in workloads
-        ]
-        return solve_outer_batch(models)
-    solutions: list[ModelSolution] = []
-    seed = None
-    for workload in workloads:
-        model = CaratModel(
-            ModelConfig(workload=workload, sites=sites, **model_kwargs),
-            warm_start=seed,
-            diagnostics=ConvergenceTrace() if trace else None)
-        solutions.append(model.solve())
-        seed = model.snapshot()
-    return solutions
+            solutions.append(model.solve())
+            seed = model.snapshot()
+        return solutions
 
 
 def assemble_points(
@@ -263,9 +267,11 @@ def run_experiment(
     points: list[SweepPoint] = []
     for n, workload, solution in zip(spec.sweep, workloads, solutions):
         if run_simulation:
-            measurement = simulate(
-                workload, sites, seed=sim_seed,
-                warmup_ms=sim_warmup_ms, duration_ms=sim_duration_ms)
+            with span("runner.point_simulate", exp=spec.exp_id, n=n):
+                measurement = simulate(
+                    workload, sites, seed=sim_seed,
+                    warmup_ms=sim_warmup_ms,
+                    duration_ms=sim_duration_ms)
         else:
             measurement = None
         points += assemble_points(spec, n, solution, measurement)

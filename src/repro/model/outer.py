@@ -47,6 +47,8 @@ import numpy as np
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.model import demands as demands_mod
 from repro.model.diagnostics import TRACKED_FIELDS, trace_clock
+from repro.obs import metrics as obs
+from repro.obs.spans import span
 from repro.model.results import ModelSolution
 from repro.model.types import PHASE_ORDER, ChainType, Phase
 from repro.queueing.kernels import (
@@ -856,6 +858,7 @@ class _BatchEngine:
         resid = np.full(B, np.inf)
         iters = np.zeros(B, dtype=np.int64)
         converged = np.zeros(B, dtype=bool)
+        self.tot_inner = np.zeros(B, dtype=np.int64)
         iteration = 0
         while alive.any():
             iteration += 1
@@ -864,6 +867,7 @@ class _BatchEngine:
             self._rebuild(al)
             t1 = clock() if traced else 0.0
             self._solve_mva(alive)
+            self.tot_inner += self.cur_inner
             t2 = clock() if traced else 0.0
             before = None
             if traced:
@@ -1049,17 +1053,38 @@ def solve_outer_batch(models: Sequence) -> list[ModelSolution]:
     pending: Exception | None = None
     for indices in groups.values():
         try:
-            solutions = _BatchEngine(
-                [models[i] for i in indices]).run()
+            engine = _BatchEngine([models[i] for i in indices])
+            with span("solver.batch_solve", batch=len(indices)):
+                solutions = engine.run()
         except ConvergenceError as exc:
             if pending is None:
                 pending = exc
             continue
         for i, solution in zip(indices, solutions):
             out[i] = solution
+        _emit_solver_metrics(engine, solutions)
     if pending is not None:
         raise pending
     return out  # type: ignore[return-value]
+
+
+def _emit_solver_metrics(engine: _BatchEngine,
+                         solutions: list[ModelSolution]) -> None:
+    """Publish one batch's solve counters to the obs registry.
+
+    Counters only — the batched numerics are untouched, so
+    telemetry-on solves stay bit-identical to telemetry-off solves.
+    No-op when no registry is installed.
+    """
+    registry = obs.active()
+    if registry is None:
+        return
+    registry.add("solver.solves", float(len(solutions)))
+    registry.observe("solver.batch_size", float(len(solutions)))
+    registry.add("solver.outer_iterations",
+                 float(sum(s.iterations for s in solutions)))
+    registry.add("solver.inner_iterations",
+                 float(engine.tot_inner.sum()))
 
 
 def solve_model_batch(configs: Sequence, warm_starts=None,

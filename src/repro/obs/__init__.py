@@ -1,0 +1,39 @@
+"""Run-scoped observability substrate (docs/observability.md).
+
+One ``repro experiment --jobs 8`` sweep spans CLI → runner → worker
+processes → result cache → batched outer solves; this package makes
+that pipeline observable end to end without touching its numerics:
+
+* :mod:`repro.obs.metrics` — a process-local registry of counters,
+  gauges and histograms with **zero overhead when no registry is
+  installed** (the pay-for-use discipline of
+  :func:`repro.model.diagnostics.trace_clock` and
+  :class:`~repro.model.diagnostics.ConvergenceTrace`);
+* :mod:`repro.obs.spans` — hierarchical wall-time spans
+  (``run > sweep > point > solve phase``) timed through
+  ``trace_clock`` and propagated across
+  :func:`repro.experiments.parallel.map_calls` workers via per-worker
+  JSONL spool files merged at join;
+* :mod:`repro.obs.export` — exporters to JSONL, the Prometheus
+  textfile format and Chrome ``trace_event`` JSON (a parallel sweep
+  opens as a flamegraph in Perfetto);
+* :mod:`repro.obs.report` — the per-stage / per-worker summary tables
+  behind the ``repro stats`` CLI subcommand.
+
+Telemetry-on runs stay bit-identical to telemetry-off runs for every
+solver and simulator result: the instrumentation only *reads* the
+layers it observes.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (MetricsRegistry, active, add, install,
+                               observe, recording, set_gauge,
+                               uninstall, validate_name)
+from repro.obs.spans import SpanRecord, span
+
+__all__ = [
+    "MetricsRegistry", "SpanRecord",
+    "active", "add", "install", "observe", "recording", "set_gauge",
+    "span", "uninstall", "validate_name",
+]

@@ -1,0 +1,147 @@
+"""Exporters for a merged :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Three formats, one registry:
+
+* :func:`to_jsonl` — one JSON object per line (``metric`` and ``span``
+  records), the archival/diff-friendly dump;
+* :func:`to_prometheus` — the Prometheus *textfile* exposition format:
+  every name becomes a ``carat_``-prefixed series with dots mapped to
+  underscores (``cache.hit_rate`` → ``carat_cache_hit_rate``), ready
+  for a node-exporter textfile collector or a CI grep;
+* :func:`to_chrome_trace` — Chrome ``trace_event`` JSON (``ph: "X"``
+  complete events, microsecond timestamps): load the file in Perfetto
+  or ``chrome://tracing`` and a parallel sweep renders as one
+  flamegraph lane per worker process.
+
+:func:`parse_prometheus` closes the loop for round-trip tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["PROMETHEUS_PREFIX", "to_jsonl", "to_prometheus",
+           "parse_prometheus", "to_chrome_trace"]
+
+#: Every exported Prometheus series carries this namespace prefix.
+PROMETHEUS_PREFIX = "carat_"
+
+
+def prometheus_name(name: str) -> str:
+    """``layer.noun_verb`` → ``carat_layer_noun_verb``."""
+    return PROMETHEUS_PREFIX + name.replace(".", "_")
+
+
+def to_jsonl(registry: MetricsRegistry) -> str:
+    """One JSON object per line: metrics first, then spans in order."""
+    lines: list[str] = []
+    for name, value in sorted(registry.counters.items()):
+        lines.append(json.dumps(
+            {"type": "counter", "name": name, "value": value}))
+    for name, value in sorted(registry.gauges.items()):
+        lines.append(json.dumps(
+            {"type": "gauge", "name": name, "value": value}))
+    for name, histogram in sorted(registry.histograms.items()):
+        lines.append(json.dumps(
+            {"type": "histogram", "name": name,
+             **histogram.to_dict()}))
+    for record in registry.spans:
+        lines.append(json.dumps({"type": "span", **record.to_dict()}))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus textfile exposition of the registry's metrics.
+
+    Histograms export as four gauges (``_count``/``_sum``/``_min``/
+    ``_max``); span data is not a metric and stays with the trace
+    exporters.
+    """
+    lines: list[str] = []
+
+    def emit(metric: str, kind: str, value: float) -> None:
+        lines.append(f"# TYPE {metric} {kind}")
+        lines.append(f"{metric} {value:.17g}")
+
+    for name, value in sorted(registry.counters.items()):
+        emit(prometheus_name(name), "counter", value)
+    for name, value in sorted(registry.gauges.items()):
+        emit(prometheus_name(name), "gauge", value)
+    for name, histogram in sorted(registry.histograms.items()):
+        base = prometheus_name(name)
+        summary = histogram.to_dict()
+        emit(f"{base}_count", "gauge", float(summary["count"]))
+        emit(f"{base}_sum", "gauge", float(summary["total"]))
+        emit(f"{base}_min", "gauge", float(summary["min"]))
+        emit(f"{base}_max", "gauge", float(summary["max"]))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse a textfile exposition back to ``{series: value}``.
+
+    Understands exactly what :func:`to_prometheus` emits (unlabelled
+    series plus ``# TYPE`` comments) — the round-trip oracle for the
+    exporter tests.
+    """
+    values: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.partition(" ")
+        values[name] = float(value)
+    return values
+
+
+def _thread_ids(registry: MetricsRegistry) -> dict[str, int]:
+    """Stable worker-label → tid mapping (``main`` is tid 0)."""
+    tids: dict[str, int] = {}
+    labels = sorted({record.worker for record in registry.spans},
+                    key=lambda label: (label != "main", label))
+    for index, label in enumerate(labels):
+        tids[label] = index
+    return tids
+
+
+def to_chrome_trace(registry: MetricsRegistry) -> str:
+    """Chrome ``trace_event`` JSON of the registry's spans.
+
+    Each span becomes a complete event (``ph: "X"``) with microsecond
+    ``ts``/``dur``; the worker label maps to the ``tid`` (one lane per
+    worker) and the recording process's pid to ``pid``.  Metadata
+    events name the lanes so Perfetto shows ``main`` / ``worker-0`` /
+    ... instead of bare thread ids.
+    """
+    tids = _thread_ids(registry)
+    events: list[dict[str, Any]] = []
+    seen: set[tuple[int, int]] = set()
+    for record in registry.spans:
+        key = (record.pid, tids[record.worker])
+        if key not in seen:
+            seen.add(key)
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": record.pid,
+                "tid": tids[record.worker],
+                "args": {"name": record.worker},
+            })
+    for record in registry.spans:
+        args: dict[str, Any] = dict(record.attrs)
+        args["worker"] = record.worker
+        if record.parent is not None:
+            args["parent"] = record.parent
+        events.append({
+            "name": record.name,
+            "cat": record.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": record.start_ms * 1e3,
+            "dur": record.dur_ms * 1e3,
+            "pid": record.pid,
+            "tid": tids[record.worker],
+            "args": args,
+        })
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"},
+                      indent=2, sort_keys=True)

@@ -1,0 +1,296 @@
+"""Process-local metrics registry with a zero-cost detached path.
+
+The registry follows the repo's pay-for-use observability discipline
+(:class:`repro.model.diagnostics.ConvergenceTrace`): instrumented code
+calls the module-level helpers :func:`add` / :func:`set_gauge` /
+:func:`observe` unconditionally, and each helper returns immediately —
+one ``None`` check, no allocation, no locking — unless a
+:class:`MetricsRegistry` has been installed for the current run
+(:func:`install` / :func:`recording`).
+
+Names follow the ``layer.noun_verb`` grammar: lowercase dotted
+identifiers with at least two segments (``cache.hits``,
+``solver.outer_iterations``).  The grammar is enforced at first use
+(:func:`validate_name`) and statically by caratlint rule CL009, because
+every exporter derives its schema from the names (Prometheus series,
+Chrome-trace categories, the ``repro stats`` tables).
+
+Registries serialize to plain JSON dicts (:meth:`MetricsRegistry.
+to_dict`) and fold together with :meth:`MetricsRegistry.merge` —
+counters sum, gauges last-write, histograms combine, spans append with
+their worker/pid labels preserved.  That is the cross-process
+aggregation contract: each worker process records into a fresh
+registry, spools it as JSON at exit, and the parent merges the spools
+at join (:mod:`repro.experiments.parallel`).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+from collections.abc import Iterator, Mapping
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.obs.spans import SpanRecord
+
+__all__ = [
+    "NAME_GRAMMAR", "SPAN_LIMIT", "HistogramSummary",
+    "MetricsRegistry", "validate_name", "install", "uninstall",
+    "active", "recording", "add", "set_gauge", "observe",
+]
+
+#: Metric and span names: lowercase dotted ``layer.noun_verb``
+#: identifiers, at least two segments of ``[a-z][a-z0-9_]*`` each.
+#: caratlint CL009 enforces the same grammar on string literals.
+NAME_GRAMMAR = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+#: Hard cap on retained span records per registry; beyond it spans are
+#: counted as dropped instead of growing memory without bound.
+SPAN_LIMIT = 100_000
+
+
+def validate_name(name: str) -> str:
+    """Return *name* if it matches the naming grammar, else raise."""
+    if not NAME_GRAMMAR.match(name):
+        raise ConfigurationError(
+            f"obs name {name!r} does not match the naming grammar "
+            "'layer.noun_verb' (lowercase dotted identifiers, at "
+            "least two segments; docs/observability.md)")
+    return name
+
+
+@dataclass
+class HistogramSummary:
+    """Bounded summary of observed values (count/sum/min/max).
+
+    No per-sample storage: merging worker histograms stays O(1) per
+    metric regardless of how many observations each worker made.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: HistogramSummary) -> None:
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def to_dict(self) -> dict[str, float]:
+        return {"count": self.count, "total": self.total,
+                "min": self.minimum if self.count else 0.0,
+                "max": self.maximum if self.count else 0.0}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> HistogramSummary:
+        count = int(data["count"])
+        return cls(count=count, total=float(data["total"]),
+                   minimum=float(data["min"]) if count else math.inf,
+                   maximum=float(data["max"]) if count else -math.inf)
+
+
+class MetricsRegistry:
+    """Counters, gauges, histograms and finished spans of one process.
+
+    ``worker`` labels where the records came from (``"main"`` in the
+    installing process, ``"worker-<i>"`` in fan-out workers); ``pid``
+    is stamped at construction so merged registries keep telling the
+    processes apart.
+    """
+
+    def __init__(self, worker: str = "main",
+                 span_limit: int = SPAN_LIMIT):
+        self.worker = worker
+        self.pid = os.getpid()
+        self.span_limit = span_limit
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, HistogramSummary] = {}
+        self.spans: list[SpanRecord] = []
+        self.dropped_spans = 0
+        #: Active span names of the installing thread, innermost last
+        #: (maintained by :func:`repro.obs.spans.span`).
+        self.span_stack: list[str] = []
+
+    # ---- recording -----------------------------------------------------
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Increment counter *name* by *value* (validated on first use)."""
+        if name not in self.counters:
+            validate_name(name)
+            self.counters[name] = 0.0
+        self.counters[name] += value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to *value* (last write wins)."""
+        if name not in self.gauges:
+            validate_name(name)
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation of *value* under histogram *name*."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            validate_name(name)
+            histogram = self.histograms[name] = HistogramSummary()
+        histogram.observe(value)
+
+    def record_span(self, record: SpanRecord) -> None:
+        """Append a finished span, or count it dropped past the cap."""
+        if len(self.spans) >= self.span_limit:
+            self.dropped_spans += 1
+            return
+        self.spans.append(record)
+
+    # ---- aggregation ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot (the worker spool-file payload)."""
+        return {
+            "worker": self.worker,
+            "pid": self.pid,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {name: h.to_dict()
+                           for name, h in self.histograms.items()},
+            "spans": [record.to_dict() for record in self.spans],
+            "dropped_spans": self.dropped_spans,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> MetricsRegistry:
+        from repro.obs.spans import SpanRecord
+        registry = cls(worker=str(data.get("worker", "main")))
+        registry.pid = int(data.get("pid", registry.pid))
+        for name, value in data.get("counters", {}).items():
+            registry.add(name, float(value))
+        for name, value in data.get("gauges", {}).items():
+            registry.set_gauge(name, float(value))
+        for name, payload in data.get("histograms", {}).items():
+            validate_name(name)
+            registry.histograms[name] = \
+                HistogramSummary.from_dict(payload)
+        for payload in data.get("spans", []):
+            registry.record_span(SpanRecord.from_dict(payload))
+        registry.dropped_spans += int(data.get("dropped_spans", 0))
+        return registry
+
+    def merge(self, other: MetricsRegistry | Mapping[str, Any]) -> None:
+        """Fold *other* (a registry or its ``to_dict`` form) into self.
+
+        Counters sum, gauges take the other side's value, histograms
+        combine their summaries, spans append with worker/pid labels
+        preserved.  Merging the same spool twice double-counts — the
+        caller owns at-most-once delivery.
+        """
+        if not isinstance(other, MetricsRegistry):
+            other = MetricsRegistry.from_dict(other)
+        for name, value in other.counters.items():
+            self.add(name, value)
+        for name, value in other.gauges.items():
+            self.set_gauge(name, value)
+        for name, histogram in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                validate_name(name)
+                mine = self.histograms[name] = HistogramSummary()
+            mine.merge(histogram)
+        for record in other.spans:
+            self.record_span(record)
+        self.dropped_spans += other.dropped_spans
+
+    def workers(self) -> tuple[str, ...]:
+        """Distinct worker labels seen in the span records, sorted."""
+        return tuple(sorted({record.worker for record in self.spans}))
+
+
+# ---------------------------------------------------------------------------
+# The active registry: module-level so the detached fast path is one
+# global read and a None check.
+# ---------------------------------------------------------------------------
+
+_ACTIVE: MetricsRegistry | None = None
+
+
+def install(registry: MetricsRegistry) -> None:
+    """Make *registry* the process's active registry.
+
+    Replaces any previously installed registry — exactly what fan-out
+    workers need: under the fork start method the child inherits the
+    parent's registry object, and recording into that copy would
+    double-count once the parent merges the worker's spool.
+    """
+    global _ACTIVE
+    _ACTIVE = registry
+
+
+def uninstall() -> MetricsRegistry | None:
+    """Detach and return the active registry (``None`` when detached)."""
+    global _ACTIVE
+    registry = _ACTIVE
+    _ACTIVE = None
+    return registry
+
+
+def active() -> MetricsRegistry | None:
+    """The active registry, or ``None`` when telemetry is off."""
+    return _ACTIVE
+
+
+@contextmanager
+def recording(registry: MetricsRegistry | None = None
+              ) -> Iterator[MetricsRegistry]:
+    """Install a registry for the duration of a ``with`` block.
+
+    Restores whatever was installed before on exit, so nested
+    recording blocks compose (the inner block's records simply go to
+    the inner registry).
+    """
+    global _ACTIVE
+    if registry is None:
+        registry = MetricsRegistry()
+    previous = _ACTIVE
+    _ACTIVE = registry
+    try:
+        yield registry
+    finally:
+        _ACTIVE = previous
+
+
+def add(name: str, value: float = 1.0) -> None:
+    """Increment a counter on the active registry; no-op when detached."""
+    if _ACTIVE is not None:
+        _ACTIVE.add(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the active registry; no-op when detached."""
+    if _ACTIVE is not None:
+        _ACTIVE.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram sample on the active registry; no-op when
+    detached."""
+    if _ACTIVE is not None:
+        _ACTIVE.observe(name, value)

@@ -1,0 +1,112 @@
+"""Text summary tables for ``repro stats`` (docs/observability.md).
+
+Renders one merged registry as three plain-text sections: a per-stage
+table (spans grouped by name), a per-worker table (one row per
+recording process, busy time from its top-level spans) and the metric
+dump (counters, gauges, histogram summaries).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecord
+
+__all__ = ["render_stage_table", "render_worker_table",
+           "render_metrics_text", "render_stats_report"]
+
+
+def _share(part_ms: float, wall_ms: float) -> str:
+    if wall_ms <= 0.0:
+        return "   -"
+    return f"{100.0 * part_ms / wall_ms:4.0f}%"
+
+
+def render_stage_table(registry: MetricsRegistry,
+                       wall_ms: float) -> str:
+    """Spans grouped by name: count, total/mean/max ms, wall share.
+
+    Stages sort by total time, heaviest first.  Shares can exceed 100%
+    in aggregate: concurrent workers burn wall time in parallel, and
+    nested spans count their children's time too.
+    """
+    groups: dict[str, list[SpanRecord]] = {}
+    for record in registry.spans:
+        groups.setdefault(record.name, []).append(record)
+    lines = ["stage                        count   total ms    "
+             "mean ms     max ms  share"]
+    if not groups:
+        lines.append("  (no spans recorded)")
+        return "\n".join(lines)
+    totals = {name: sum(r.dur_ms for r in records)
+              for name, records in groups.items()}
+    for name in sorted(groups, key=lambda n: -totals[n]):
+        records = groups[name]
+        total = totals[name]
+        mean = total / len(records)
+        top = max(r.dur_ms for r in records)
+        lines.append(f"{name:<28} {len(records):>5} {total:>10.1f} "
+                     f"{mean:>10.1f} {top:>10.1f}  "
+                     f"{_share(total, wall_ms)}")
+    return "\n".join(lines)
+
+
+def render_worker_table(registry: MetricsRegistry,
+                        wall_ms: float) -> str:
+    """One row per worker label: span count, busy ms, wall share.
+
+    Busy time sums each worker's *top-level* spans (depth 0), so
+    nested spans are not double-counted; for a fan-out worker that is
+    its ``parallel.worker_loop`` lifetime.
+    """
+    spans: dict[str, list[SpanRecord]] = {}
+    for record in registry.spans:
+        spans.setdefault(record.worker, []).append(record)
+    lines = ["worker          pid     spans    busy ms  share"]
+    if not spans:
+        lines.append("  (no spans recorded)")
+        return "\n".join(lines)
+    order = sorted(spans, key=lambda label: (label != "main", label))
+    for label in order:
+        records = spans[label]
+        busy = sum(r.dur_ms for r in records if r.depth == 0)
+        pid = records[0].pid
+        lines.append(f"{label:<14} {pid:>5} {len(records):>9} "
+                     f"{busy:>10.1f}  {_share(busy, wall_ms)}")
+    return "\n".join(lines)
+
+
+def render_metrics_text(registry: MetricsRegistry) -> str:
+    """Counters, gauges and histogram summaries, one line each."""
+    lines = ["metrics:"]
+    empty = True
+    for name, value in sorted(registry.counters.items()):
+        empty = False
+        lines.append(f"  {name:<30} {value:g}")
+    for name, value in sorted(registry.gauges.items()):
+        empty = False
+        lines.append(f"  {name:<30} {value:g}")
+    for name, histogram in sorted(registry.histograms.items()):
+        empty = False
+        summary = histogram.to_dict()
+        lines.append(f"  {name:<30} count={summary['count']:g} "
+                     f"mean={histogram.mean:.2f} "
+                     f"min={summary['min']:.2f} "
+                     f"max={summary['max']:.2f}")
+    if empty:
+        lines.append("  (no metrics recorded)")
+    return "\n".join(lines)
+
+
+def render_stats_report(registry: MetricsRegistry,
+                        wall_ms: float) -> str:
+    """The full ``repro stats`` report: stages, workers, metrics."""
+    parts = [f"wall time: {wall_ms:.1f} ms "
+             f"({len(registry.spans)} spans, "
+             f"{registry.dropped_spans} dropped)",
+             "",
+             render_stage_table(registry, wall_ms),
+             "",
+             render_worker_table(registry, wall_ms),
+             "",
+             render_metrics_text(registry)]
+    return "\n".join(parts)

@@ -1,0 +1,136 @@
+"""Hierarchical wall-time spans recorded through ``trace_clock``.
+
+A span brackets one stage of a run (``stats.run`` > ``runner.
+sweep_solve`` > ``parallel.task_run`` > ...).  The :func:`span`
+factory is the only entry point::
+
+    with span("runner.sweep_solve", points=5):
+        ...
+
+When no registry is installed (:mod:`repro.obs.metrics`) it returns a
+shared null context — no clock read, no allocation beyond the call
+itself — so instrumented code pays nothing in production runs.
+
+Timing goes through :func:`repro.model.diagnostics.trace_clock`, the
+repo's quarantined wall clock (caratlint CL001 covers ``repro.obs``):
+on Linux ``perf_counter`` is ``CLOCK_MONOTONIC``, whose origin is
+shared by every process on the host, so spans recorded in forked
+fan-out workers land on the same timeline as the parent's and the
+merged Chrome trace lines them up correctly.
+
+Hierarchy is tracked per registry via a span stack: each finished
+:class:`SpanRecord` stores its parent span's name and its nesting
+depth.  Exceptions propagate; the span still records (its duration
+then covers up to the raise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.model.diagnostics import trace_clock
+from repro.obs import metrics as _metrics
+
+__all__ = ["SpanRecord", "span"]
+
+
+@dataclass
+class SpanRecord:
+    """One finished wall-time span.
+
+    ``start_ms`` is ``trace_clock()`` milliseconds — a monotonic
+    timestamp comparable across processes on one host, not an epoch.
+    """
+
+    name: str
+    start_ms: float
+    dur_ms: float
+    parent: str | None
+    depth: int
+    worker: str
+    pid: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "start_ms": self.start_ms,
+                "dur_ms": self.dur_ms, "parent": self.parent,
+                "depth": self.depth, "worker": self.worker,
+                "pid": self.pid, "attrs": dict(self.attrs)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> SpanRecord:
+        return cls(name=str(data["name"]),
+                   start_ms=float(data["start_ms"]),
+                   dur_ms=float(data["dur_ms"]),
+                   parent=data.get("parent"),
+                   depth=int(data.get("depth", 0)),
+                   worker=str(data.get("worker", "main")),
+                   pid=int(data.get("pid", 0)),
+                   attrs=dict(data.get("attrs", {})))
+
+
+class _NullSpan:
+    """Shared no-op context for the detached path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Live span: times a block and records on exit."""
+
+    __slots__ = ("_registry", "_name", "_attrs", "_clock", "_start")
+
+    def __init__(self, registry: _metrics.MetricsRegistry, name: str,
+                 attrs: dict[str, Any]):
+        self._registry = registry
+        self._name = _metrics.validate_name(name)
+        self._attrs = attrs
+        self._clock = trace_clock()
+        self._start = 0.0
+
+    def __enter__(self) -> _Span:
+        self._registry.span_stack.append(self._name)
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        end = self._clock()
+        stack = self._registry.span_stack
+        if stack and stack[-1] == self._name:
+            stack.pop()
+        parent = stack[-1] if stack else None
+        self._registry.record_span(SpanRecord(
+            name=self._name,
+            start_ms=self._start * 1e3,
+            dur_ms=(end - self._start) * 1e3,
+            parent=parent,
+            depth=len(stack),
+            worker=self._registry.worker,
+            pid=self._registry.pid,
+            attrs=self._attrs,
+        ))
+        return False
+
+
+def span(name: str, **attrs: Any) -> _NullSpan | _Span:
+    """Context manager timing one named stage of the run.
+
+    *attrs* must be JSON-serializable (they ride through the worker
+    spool files and into the exporters).  Detached — no registry
+    installed — this returns a shared null context and records
+    nothing.
+    """
+    registry = _metrics.active()
+    if registry is None:
+        return _NULL_SPAN
+    return _Span(registry, name, attrs)

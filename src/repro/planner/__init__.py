@@ -20,6 +20,8 @@ The one-call entry point is :func:`plan`; the CLI front end is
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.model.parameters import SiteParameters, paper_sites
 from repro.planner.bottleneck import bottleneck_table, top_bottleneck
 from repro.planner.report import (render_plan_json, render_plan_text,
@@ -104,7 +106,17 @@ def plan(spec: PlanSpec,
         evaluator.solution(optimum.point.mpl))
     outcomes = run_whatif(spec.whatif, spec.workload, sites,
                           optimum.point, spec.model_kwargs,
-                          jobs=jobs, use_cache=use_cache)
+                          jobs=jobs, use_cache=use_cache,
+                          absorb_into=evaluator)
+    if spec.whatif:
+        # The what-if evaluators' counters landed on the baseline
+        # evaluator after the optimum snapshot was taken; refresh the
+        # search-cost numbers so the report covers the whole plan.
+        optimum = replace(optimum,
+                          solves=evaluator.solves,
+                          cache_hits=evaluator.cache_hits,
+                          cache_misses=evaluator.cache_misses,
+                          total_iterations=evaluator.total_iterations)
     return PlanResult(
         workload=spec.workload.name,
         requests_per_txn=spec.workload.requests_per_txn,

@@ -53,6 +53,12 @@ def _optimum_lines(result: PlanResult) -> list[str]:
         f"({len(optimum.grid)} grid points, "
         f"{optimum.cache_hits} cache hits, "
         f"{optimum.total_iterations} fixed-point iterations)")
+    requests = optimum.cache_hits + optimum.cache_misses
+    if requests:
+        lines.append(
+            f"  result cache   : {optimum.cache_hits} hits / "
+            f"{optimum.cache_misses} misses "
+            f"(hit rate {optimum.cache_hits / requests:.2f})")
     return lines
 
 

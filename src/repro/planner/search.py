@@ -40,6 +40,7 @@ from repro.model.parameters import SiteParameters
 from repro.model.results import USER_CHAINS, ModelSolution
 from repro.model.solver import CaratModel, ModelConfig, WarmStart
 from repro.model.workload import WorkloadSpec
+from repro.obs import metrics as obs
 from repro.planner.spec import MplPoint, OptimumResult, SaturationWindow
 from repro.queueing.bounds import (aggregate_mix_network,
                                    bjb_saturation_population,
@@ -156,8 +157,32 @@ class PlanEvaluator:
         self.quantum = mix_quantum(workload)
         self.solves = 0
         self.cache_hits = 0
+        self.cache_misses = 0
         self.total_iterations = 0
         self._entries: dict[int, dict] = {}
+
+    def _hit(self, mpl: int, cached: dict) -> dict:
+        """Record one result-cache hit (memo + counters + obs)."""
+        self.cache_hits += 1
+        self._entries[mpl] = cached
+        obs.add("planner.cache_hits")
+        obs.add("planner.evaluations")
+        return cached
+
+    def absorb_counters(self, solves: int = 0, cache_hits: int = 0,
+                        cache_misses: int = 0,
+                        total_iterations: int = 0) -> None:
+        """Fold another evaluator's perf counters into this one.
+
+        The what-if engine evaluates candidates on evaluators of their
+        own — possibly in worker processes — and ships the counters
+        back here so a plan's totals cover every solve it caused
+        instead of silently dropping the fan-out's share at join.
+        """
+        self.solves += solves
+        self.cache_hits += cache_hits
+        self.cache_misses += cache_misses
+        self.total_iterations += total_iterations
 
     # ---- evaluation ----------------------------------------------------
 
@@ -186,9 +211,7 @@ class PlanEvaluator:
         if digest is not None:
             cached = self.cache.get_payload(digest)
             if cached is not None:
-                self.cache_hits += 1
-                self._entries[mpl] = cached
-                return cached
+                return self._hit(mpl, cached)
         model = CaratModel(
             ModelConfig(workload=scaled, sites=self.sites,
                         **self.model_kwargs),
@@ -202,6 +225,11 @@ class PlanEvaluator:
         """Memoize (and cache) one solved MPL's entry dict."""
         self.solves += 1
         self.total_iterations += solution.iterations
+        if digest is not None:
+            self.cache_misses += 1
+        obs.add("planner.solves")
+        obs.add("planner.evaluations")
+        obs.add("planner.iterations", float(solution.iterations))
         response_ms, abort_probability = _user_measures(solution)
         point = MplPoint(
             mpl=mpl,
@@ -246,8 +274,7 @@ class PlanEvaluator:
             if digest is not None:
                 cached = self.cache.get_payload(digest)
                 if cached is not None:
-                    self.cache_hits += 1
-                    self._entries[mpl] = cached
+                    self._hit(mpl, cached)
                     continue
             todo.append((mpl, scaled, digest))
         if not todo:
@@ -388,6 +415,7 @@ def _optimum_result(evaluator: PlanEvaluator, grid: tuple[int, ...],
         solves=evaluator.solves,
         cache_hits=evaluator.cache_hits,
         total_iterations=evaluator.total_iterations,
+        cache_misses=evaluator.cache_misses,
     )
 
 
@@ -497,8 +525,7 @@ def prefetch_across(evaluators, mpl: int) -> None:
         if digest is not None:
             cached = ev.cache.get_payload(digest)
             if cached is not None:
-                ev.cache_hits += 1
-                ev._entries[mpl] = cached
+                ev._hit(mpl, cached)
                 continue
         todo.append((ev, scaled, digest))
     if not todo:

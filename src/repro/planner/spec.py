@@ -181,6 +181,10 @@ class OptimumResult:
     solves: int
     cache_hits: int
     total_iterations: int
+    #: Result-cache misses (fresh solves that had to compute despite
+    #: ``use_cache``); 0 when the search ran uncached.  Defaulted so
+    #: positional construction predating the field keeps working.
+    cache_misses: int = 0
 
     def to_dict(self) -> dict:
         return {"point": self.point.to_dict(),
@@ -190,6 +194,7 @@ class OptimumResult:
                 "evaluations": self.evaluations,
                 "solves": self.solves,
                 "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
                 "total_iterations": self.total_iterations}
 
 

@@ -94,7 +94,22 @@ def evaluate_candidate(candidate: WhatIfCandidate,
     return {"candidate": candidate,
             "throughput_per_s": point.throughput_per_s,
             "response_ms": point.response_ms,
-            "bottleneck": top_bottleneck(evaluator.solution(mpl))}
+            "bottleneck": top_bottleneck(evaluator.solution(mpl)),
+            "counters": _evaluator_counters(evaluator)}
+
+
+def _evaluator_counters(evaluator: PlanEvaluator) -> dict:
+    """The evaluator's perf counters, shippable across processes.
+
+    Every candidate evaluation returns these so the parent can fold
+    worker-side solve/cache/iteration counts back into its own totals
+    (:meth:`PlanEvaluator.absorb_counters`) instead of losing them at
+    the fan-out join.
+    """
+    return {"solves": evaluator.solves,
+            "cache_hits": evaluator.cache_hits,
+            "cache_misses": evaluator.cache_misses,
+            "total_iterations": evaluator.total_iterations}
 
 
 def _evaluate_batched(candidates: tuple[WhatIfCandidate, ...],
@@ -120,6 +135,7 @@ def _evaluate_batched(candidates: tuple[WhatIfCandidate, ...],
             "throughput_per_s": point.throughput_per_s,
             "response_ms": point.response_ms,
             "bottleneck": top_bottleneck(evaluator.solution(mpl)),
+            "counters": _evaluator_counters(evaluator),
         })
     return results
 
@@ -130,7 +146,9 @@ def run_whatif(candidates: tuple[WhatIfCandidate, ...],
                baseline: MplPoint,
                model_kwargs: dict,
                jobs: int | None = 1,
-               use_cache: bool = False) -> tuple[WhatIfOutcome, ...]:
+               use_cache: bool = False,
+               absorb_into: PlanEvaluator | None = None,
+               ) -> tuple[WhatIfOutcome, ...]:
     """Evaluate *candidates* at the baseline-optimal MPL, in parallel.
 
     The returned outcomes keep the candidates' order; ``speedup`` is
@@ -142,6 +160,11 @@ def run_whatif(candidates: tuple[WhatIfCandidate, ...],
     workload's chain structure, so the whole upgrade menu is a single
     outer fixed point with per-element convergence masking.  Larger
     ``jobs`` fans candidates out across worker processes instead.
+
+    ``absorb_into`` receives the candidate evaluators' solve/cache
+    counters (:meth:`PlanEvaluator.absorb_counters`), so search-cost
+    accounting survives the worker fan-out instead of dying with the
+    child processes.
     """
     from repro.experiments.parallel import map_calls
 
@@ -156,6 +179,9 @@ def run_whatif(candidates: tuple[WhatIfCandidate, ...],
                                 "mpl": baseline.mpl,
                                 "model_kwargs": model_kwargs,
                                 "use_cache": use_cache})
+    if absorb_into is not None:
+        for result in raw:
+            absorb_into.absorb_counters(**result["counters"])
     base = baseline.throughput_per_s
     return tuple(
         WhatIfOutcome(

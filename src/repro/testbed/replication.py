@@ -16,6 +16,7 @@ import numpy as np
 from scipy import stats
 
 from repro.errors import ConfigurationError
+from repro.obs.spans import span
 from repro.testbed.system import CaratSimulation, SimulationConfig
 
 __all__ = ["Estimate", "ReplicatedMeasurement", "run_replications"]
@@ -96,7 +97,9 @@ def run_replications(
     dio: dict[str, list[float]] = {}
     for i in range(replications):
         run_config = replace(config, seed=config.seed + i)
-        measurement = CaratSimulation(run_config).run()
+        with span("testbed.replication_run", index=i,
+                  seed=run_config.seed):
+            measurement = CaratSimulation(run_config).run()
         for name, site in measurement.sites.items():
             xput.setdefault(name, []).append(
                 site.transaction_throughput_per_s)

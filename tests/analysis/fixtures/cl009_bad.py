@@ -1,0 +1,11 @@
+"""CL009 bad fixture: obs names off the layer.noun_verb grammar."""
+
+from repro.obs import metrics as obs
+from repro.obs.spans import span
+
+
+def instrumented_step(registry) -> None:
+    obs.add("CacheHits")
+    registry.observe("solver.batchMS", 1.0)
+    with span("solve_step"):
+        pass

@@ -1,0 +1,14 @@
+"""CL009 good fixture: grammar-compliant obs metric/span names."""
+
+from repro.obs import metrics as obs
+from repro.obs.spans import span
+
+
+def instrumented_step(registry) -> None:
+    obs.add("cache.hits")
+    obs.observe("parallel.task_ms", 1.0)
+    registry.set_gauge("cache.hit_rate", 0.5)
+    dynamic = "runner." + "sweep_run"
+    obs.add(dynamic)  # non-literal names stay a runtime-validator job
+    with span("runner.sweep_solve", points=3):
+        pass

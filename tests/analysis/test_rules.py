@@ -29,6 +29,7 @@ CASES = {
     "CL006": ("repro.queueing.network", 2),
     "CL007": ("repro.tools", 4),
     "CL008": ("repro.tools", 1),
+    "CL009": ("repro.experiments.parallel", 3),
 }
 
 

@@ -18,7 +18,10 @@ from repro.model.solver_reference import ReferenceCaratModel
 from repro.model.types import BaseType
 from repro.model.workload import STANDARD_WORKLOADS, WorkloadSpec
 
-REL = 1e-10
+# Still four orders below the solver tolerance; 1e-10 was marginal —
+# batched einsums and the scalar loop accumulate in different orders,
+# and randomized workloads can legitimately differ by ~2e-10.
+REL = 1e-9
 
 
 def _rel(a, b):

@@ -1,0 +1,15 @@
+"""Obs-suite fixtures: never leak an installed registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics
+
+
+@pytest.fixture(autouse=True)
+def _detach_registry():
+    """Every test starts and ends with telemetry off."""
+    metrics.uninstall()
+    yield
+    metrics.uninstall()

@@ -1,0 +1,92 @@
+"""Exporter round trips: JSONL, Prometheus textfile, Chrome trace."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (parse_prometheus, prometheus_name,
+                              to_chrome_trace, to_jsonl, to_prometheus)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecord
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.add("cache.hits", 3.0)
+    registry.add("cache.misses", 1.0)
+    registry.set_gauge("cache.hit_rate", 0.75)
+    registry.observe("parallel.task_ms", 10.0)
+    registry.observe("parallel.task_ms", 20.0)
+    registry.record_span(SpanRecord(
+        name="runner.sweep_run", start_ms=100.0, dur_ms=50.0,
+        parent=None, depth=0, worker="main", pid=1000,
+        attrs={"specs": 1}))
+    registry.record_span(SpanRecord(
+        name="parallel.task_run", start_ms=110.0, dur_ms=30.0,
+        parent="parallel.worker_loop", depth=1, worker="worker-0",
+        pid=1001))
+    return registry
+
+
+class TestPrometheus:
+    def test_name_mapping(self):
+        assert prometheus_name("cache.hit_rate") == "carat_cache_hit_rate"
+
+    def test_round_trip(self):
+        values = parse_prometheus(to_prometheus(_registry()))
+        assert values["carat_cache_hits"] == 3.0
+        assert values["carat_cache_misses"] == 1.0
+        assert values["carat_cache_hit_rate"] == 0.75
+        assert values["carat_parallel_task_ms_count"] == 2.0
+        assert values["carat_parallel_task_ms_sum"] == 30.0
+        assert values["carat_parallel_task_ms_min"] == 10.0
+        assert values["carat_parallel_task_ms_max"] == 20.0
+
+    def test_empty_registry_exports_nothing(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+        assert parse_prometheus("") == {}
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        doc = json.loads(to_chrome_trace(_registry()))
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(meta) + len(complete) == len(events)
+        # One thread_name metadata event per (pid, worker lane).
+        assert {(e["pid"], e["args"]["name"]) for e in meta} \
+            == {(1000, "main"), (1001, "worker-0")}
+        by_name = {e["name"]: e for e in complete}
+        sweep = by_name["runner.sweep_run"]
+        assert sweep["ts"] == 100.0 * 1e3  # microseconds
+        assert sweep["dur"] == 50.0 * 1e3
+        assert sweep["tid"] == 0  # main is always lane 0
+        assert sweep["cat"] == "runner"
+        assert sweep["args"]["specs"] == 1
+        task = by_name["parallel.task_run"]
+        assert task["tid"] == 1
+        assert task["args"]["parent"] == "parallel.worker_loop"
+        assert task["args"]["worker"] == "worker-0"
+
+    def test_empty_registry_is_valid_json(self):
+        doc = json.loads(to_chrome_trace(MetricsRegistry()))
+        assert doc["traceEvents"] == []
+
+
+class TestJsonl:
+    def test_typed_lines(self):
+        lines = [json.loads(line)
+                 for line in to_jsonl(_registry()).splitlines()]
+        kinds = [line["type"] for line in lines]
+        assert kinds == ["counter", "counter", "gauge", "histogram",
+                         "span", "span"]
+        histogram = next(entry for entry in lines if entry["type"] == "histogram")
+        assert histogram["name"] == "parallel.task_ms"
+        assert histogram["count"] == 2
+        spans = [entry for entry in lines if entry["type"] == "span"]
+        assert [s["worker"] for s in spans] == ["main", "worker-0"]
+
+    def test_empty(self):
+        assert to_jsonl(MetricsRegistry()) == ""

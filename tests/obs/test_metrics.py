@@ -1,0 +1,144 @@
+"""MetricsRegistry: recording, naming grammar, merge semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import metrics
+from repro.obs.metrics import (HistogramSummary, MetricsRegistry,
+                               recording, validate_name)
+from repro.obs.spans import SpanRecord
+
+
+def _span(name="stage.step", worker="main", pid=1, depth=0,
+          dur_ms=1.0):
+    return SpanRecord(name=name, start_ms=0.0, dur_ms=dur_ms,
+                      parent=None, depth=depth, worker=worker, pid=pid)
+
+
+class TestNamingGrammar:
+    @pytest.mark.parametrize("name", [
+        "cache.hits", "solver.outer_iterations",
+        "parallel.task_ms", "a.b.c", "layer2.noun_verb9",
+    ])
+    def test_valid(self, name):
+        assert validate_name(name) == name
+
+    @pytest.mark.parametrize("name", [
+        "flat", "Cache.hits", "cache.Hits", "cache..hits",
+        "cache.", ".hits", "cache.hits-", "9cache.hits", "",
+    ])
+    def test_invalid(self, name):
+        with pytest.raises(ConfigurationError):
+            validate_name(name)
+
+    def test_validated_at_first_use(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.add("NotDotted")
+        with pytest.raises(ConfigurationError):
+            registry.set_gauge("Bad", 1.0)
+        with pytest.raises(ConfigurationError):
+            registry.observe("also bad", 1.0)
+
+
+class TestRegistry:
+    def test_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.add("cache.hits")
+        registry.add("cache.hits", 2.0)
+        registry.set_gauge("cache.hit_rate", 0.25)
+        registry.set_gauge("cache.hit_rate", 0.75)
+        registry.observe("parallel.task_ms", 10.0)
+        registry.observe("parallel.task_ms", 30.0)
+        assert registry.counters["cache.hits"] == 3.0
+        assert registry.gauges["cache.hit_rate"] == 0.75
+        histogram = registry.histograms["parallel.task_ms"]
+        assert histogram.count == 2
+        assert histogram.mean == 20.0
+        assert histogram.minimum == 10.0
+        assert histogram.maximum == 30.0
+
+    def test_span_limit_drops(self):
+        registry = MetricsRegistry(span_limit=2)
+        for _ in range(5):
+            registry.record_span(_span())
+        assert len(registry.spans) == 2
+        assert registry.dropped_spans == 3
+
+    def test_to_dict_json_round_trip(self):
+        registry = MetricsRegistry(worker="worker-3")
+        registry.add("cache.hits", 4.0)
+        registry.set_gauge("cache.hit_rate", 0.5)
+        registry.observe("parallel.task_ms", 7.0)
+        registry.record_span(_span(worker="worker-3", pid=registry.pid))
+        payload = json.loads(json.dumps(registry.to_dict()))
+        clone = MetricsRegistry.from_dict(payload)
+        assert clone.worker == "worker-3"
+        assert clone.pid == registry.pid
+        assert clone.counters == registry.counters
+        assert clone.gauges == registry.gauges
+        assert clone.histograms["parallel.task_ms"].to_dict() \
+            == registry.histograms["parallel.task_ms"].to_dict()
+        assert [s.to_dict() for s in clone.spans] \
+            == [s.to_dict() for s in registry.spans]
+
+    def test_merge_semantics(self):
+        parent = MetricsRegistry()
+        parent.add("cache.hits", 1.0)
+        parent.set_gauge("cache.hit_rate", 0.1)
+        parent.observe("parallel.task_ms", 5.0)
+        parent.record_span(_span(worker="main"))
+        child = MetricsRegistry(worker="worker-0")
+        child.add("cache.hits", 2.0)
+        child.add("cache.misses", 1.0)
+        child.set_gauge("cache.hit_rate", 0.9)
+        child.observe("parallel.task_ms", 15.0)
+        child.record_span(_span(worker="worker-0", pid=99))
+        parent.merge(child.to_dict())
+        assert parent.counters == {"cache.hits": 3.0,
+                                   "cache.misses": 1.0}
+        assert parent.gauges["cache.hit_rate"] == 0.9
+        histogram = parent.histograms["parallel.task_ms"]
+        assert histogram.count == 2
+        assert (histogram.minimum, histogram.maximum) == (5.0, 15.0)
+        assert parent.workers() == ("main", "worker-0")
+
+    def test_empty_histogram_round_trip(self):
+        empty = HistogramSummary()
+        assert empty.to_dict() == {"count": 0, "total": 0.0,
+                                   "min": 0.0, "max": 0.0}
+        clone = HistogramSummary.from_dict(empty.to_dict())
+        clone.observe(3.0)
+        assert (clone.minimum, clone.maximum) == (3.0, 3.0)
+
+
+class TestActiveRegistry:
+    def test_helpers_are_noops_when_detached(self):
+        assert metrics.active() is None
+        metrics.add("cache.hits")
+        metrics.set_gauge("cache.hit_rate", 1.0)
+        metrics.observe("parallel.task_ms", 1.0)
+        assert metrics.active() is None
+
+    def test_install_uninstall(self):
+        registry = MetricsRegistry()
+        metrics.install(registry)
+        metrics.add("cache.hits")
+        assert registry.counters == {"cache.hits": 1.0}
+        assert metrics.uninstall() is registry
+        assert metrics.active() is None
+
+    def test_recording_nests_and_restores(self):
+        with recording() as outer:
+            metrics.add("outer.marks")
+            with recording() as inner:
+                metrics.add("inner.marks")
+            assert metrics.active() is outer
+            metrics.add("outer.marks")
+        assert metrics.active() is None
+        assert outer.counters == {"outer.marks": 2.0}
+        assert inner.counters == {"inner.marks": 1.0}

@@ -1,0 +1,106 @@
+"""Cross-process aggregation and telemetry-neutrality guarantees."""
+
+from __future__ import annotations
+
+from repro.experiments.parallel import map_calls
+from repro.model.solver import solve_model
+from repro.model.workload import mb4
+from repro.obs import metrics
+from repro.obs.metrics import recording
+from repro.planner import PlanEvaluator, WhatIfCandidate, run_whatif
+
+KW = {"tolerance": 1e-3, "max_iterations": 300,
+      "raise_on_nonconvergence": False}
+
+
+def _bump(x):
+    """Module-level so map_calls can pickle it into workers."""
+    metrics.add("demo.items_seen")
+    metrics.observe("demo.item_value", float(x))
+    return x * 2
+
+
+def _fanned_out_registry():
+    with recording() as registry:
+        results = map_calls(_bump, list(range(6)), jobs=2)
+    assert results == [0, 2, 4, 6, 8, 10]
+    return registry
+
+
+class TestWorkerMerge:
+    def test_worker_registries_merge_into_parent(self):
+        registry = _fanned_out_registry()
+        assert registry.counters["demo.items_seen"] == 6.0
+        assert registry.counters["parallel.tasks_completed"] == 6.0
+        histogram = registry.histograms["demo.item_value"]
+        assert histogram.count == 6
+        assert histogram.total == sum(range(6))
+        workers = registry.workers()
+        assert "worker-0" in workers and "main" not in workers
+        names = {record.name for record in registry.spans}
+        assert names == {"parallel.task_run", "parallel.worker_loop"}
+        loops = [r for r in registry.spans
+                 if r.name == "parallel.worker_loop"]
+        assert {r.depth for r in loops} == {0}
+        assert all(r.pid != registry.pid for r in loops)
+
+    def test_merge_is_deterministic(self):
+        first = _fanned_out_registry()
+        second = _fanned_out_registry()
+        assert first.counters == second.counters
+        assert sorted(r.name for r in first.spans) \
+            == sorted(r.name for r in second.spans)
+        assert first.histograms["demo.item_value"].to_dict() \
+            == second.histograms["demo.item_value"].to_dict()
+
+    def test_inline_path_records_on_parent(self):
+        with recording() as registry:
+            assert map_calls(_bump, [5], jobs=2) == [10]
+        # A single task short-circuits to in-process execution: the
+        # records land on the parent registry, no worker spools.
+        assert registry.counters["demo.items_seen"] == 1.0
+        assert registry.workers() == ("main",)
+
+
+class TestWhatIfCounterAbsorption:
+    def test_parallel_counters_fold_into_baseline(self, sites):
+        workload = mb4(4)
+        evaluator = PlanEvaluator(workload, sites, model_kwargs=KW)
+        baseline = evaluator.point(4)
+        before = (evaluator.solves, evaluator.total_iterations)
+        candidates = (WhatIfCandidate(kind="cpu_speed", factor=2.0),
+                      WhatIfCandidate(kind="granules", factor=2.0))
+        outcomes = run_whatif(candidates, workload, sites, baseline,
+                              KW, jobs=2, absorb_into=evaluator)
+        assert len(outcomes) == 2
+        # Without absorption these counters died with the workers.
+        assert evaluator.solves >= before[0] + len(candidates)
+        assert evaluator.total_iterations > before[1]
+
+    def test_batched_path_reports_counters_too(self, sites):
+        workload = mb4(4)
+        evaluator = PlanEvaluator(workload, sites, model_kwargs=KW)
+        baseline = evaluator.point(4)
+        before = evaluator.solves
+        run_whatif((WhatIfCandidate(kind="disk_speed", factor=2.0),),
+                   workload, sites, baseline, KW, jobs=1,
+                   absorb_into=evaluator)
+        assert evaluator.solves > before
+
+
+class TestTelemetryNeutrality:
+    def test_solver_results_identical_with_registry(self, sites):
+        """Recording must observe, never perturb: solver numerics are
+        bit-identical with and without an installed registry."""
+        workload = mb4(4)
+        plain = solve_model(workload, sites, max_iterations=400)
+        with recording() as registry:
+            recorded = solve_model(workload, sites, max_iterations=400)
+        assert registry.counters["solver.outer_iterations"] > 0
+        assert plain.iterations == recorded.iterations
+        for name in plain.sites:
+            a, b = plain.sites[name], recorded.sites[name]
+            assert a.transaction_throughput_per_s \
+                == b.transaction_throughput_per_s
+            assert a.cpu_utilization == b.cpu_utilization
+            assert a.dio_rate_per_s == b.dio_rate_per_s

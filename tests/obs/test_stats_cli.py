@@ -1,0 +1,78 @@
+"""``repro stats``: end-to-end smoke of the observability CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import parse_prometheus
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("CARAT_CACHE_DIR", str(tmp_path / "cache"))
+
+
+def test_stats_model_only_with_exports(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.prom"
+    exit_code = main(["stats", "tab3", "--quick", "--model-only",
+                      "--trace-out", str(trace_path),
+                      "--metrics-out", str(metrics_path)])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "wall time:" in out
+    assert "stats.run" in out
+    assert "solver.batch_solve" in out
+    assert "cache.hit_rate" in out
+
+    doc = json.loads(trace_path.read_text(encoding="utf-8"))
+    events = doc["traceEvents"]
+    assert events and {e["ph"] for e in events} <= {"X", "M"}
+    names = {e["name"] for e in events if e["ph"] == "X"}
+    assert "stats.run" in names and "runner.sweep_solve" in names
+
+    values = parse_prometheus(metrics_path.read_text(encoding="utf-8"))
+    assert "carat_cache_hit_rate" in values
+    assert values["carat_solver_outer_iterations"] > 0
+    assert values["carat_solver_solves"] > 0
+
+
+def test_stats_parallel_simulation_covers_workers(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    exit_code = main(["stats", "tab3", "--quick", "--jobs", "2",
+                      "--trace-out", str(trace_path)])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "parallel.worker_loop" in out
+    assert "worker-0" in out and "worker-1" in out
+
+    doc = json.loads(trace_path.read_text(encoding="utf-8"))
+    lanes = {e["args"]["name"] for e in doc["traceEvents"]
+             if e["ph"] == "M"}
+    assert {"main", "worker-0", "worker-1"} <= lanes
+    # Per-worker busy time (worker_loop lifetime) is comparable to the
+    # sweep wall time: the loop spans the whole fan-out.
+    loops = [e for e in doc["traceEvents"]
+             if e["ph"] == "X" and e["name"] == "parallel.worker_loop"]
+    sweep = next(e for e in doc["traceEvents"]
+                 if e["ph"] == "X" and e["name"] == "runner.sweep_run")
+    assert len(loops) == 2
+    for loop in loops:
+        assert loop["dur"] <= sweep["dur"] * 1.05
+
+
+def test_stats_plan_target(capsys):
+    exit_code = main(["stats", "plan", "--workload", "MB4",
+                      "-n", "4", "--mpl-max", "6"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "planner.solves" in out
+    assert "planner.evaluations" in out
+
+
+def test_stats_rejects_unknown_target(capsys):
+    with pytest.raises(SystemExit):
+        main(["stats", "nope"])
