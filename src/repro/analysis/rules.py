@@ -120,7 +120,9 @@ class UnseededNondeterminism(Rule):
                   or module == "repro.model"
                   or module.startswith("repro.model.")
                   or module == "repro.obs"
-                  or module.startswith("repro.obs."))
+                  or module.startswith("repro.obs.")
+                  or module == "repro.scenarios"
+                  or module.startswith("repro.scenarios."))
         return scoped and module not in self._EXEMPT
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:

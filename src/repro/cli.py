@@ -288,7 +288,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the registered rule catalog and "
                            "exit")
 
-    sub.add_parser("list", help="list experiments and workloads")
+    from repro.scenarios.cli import add_scenario_parser
+    add_scenario_parser(sub)
+
+    sub.add_parser("list", help="list experiments, workloads and "
+                                "scenarios")
     return parser
 
 
@@ -650,12 +654,25 @@ def _cmd_lint(args) -> int:
 
 def _cmd_list(_args) -> int:
     from repro.planner.report import render_workload_bounds
+    from repro.scenarios.generator import standard_families
+    from repro.scenarios.spec import BUILTIN_NAMES
     print("experiments:")
     for exp_id, spec in sorted(EXPERIMENTS.items()):
         print(f"  {exp_id:>6}  {spec.title}")
     print("workloads:", ", ".join(sorted(STANDARD_WORKLOADS)))
+    print("scenario specs:",
+          ", ".join(name.lower() for name in BUILTIN_NAMES))
+    print("scenario families "
+          "(repro scenario sample --family NAME):")
+    for name, fam in sorted(standard_families().items()):
+        print(f"  {name:<14} {fam.description}")
     print(render_workload_bounds())
     return 0
+
+
+def _cmd_scenario(args) -> int:
+    from repro.scenarios.cli import cmd_scenario
+    return cmd_scenario(args)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -676,6 +693,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "lint": _cmd_lint,
         "list": _cmd_list,
+        "scenario": _cmd_scenario,
     }
     return handlers[args.command](args)
 

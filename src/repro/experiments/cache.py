@@ -48,7 +48,9 @@ __all__ = ["CACHE_VERSION", "CacheStats", "ResultCache",
 #: Bump to invalidate every existing entry after a semantic change to
 #: the solver, simulator, or the SweepPoint layout.
 #: 2: SweepPoint grew ``model_trace``; digests hash the trace flag.
-CACHE_VERSION = 2
+#: 3: WorkloadSpec grew ``zipf_s`` and payloads may carry scenario
+#:    schema versions — pre-scenario entries must never alias.
+CACHE_VERSION = 3
 
 #: Process-wide memory layer, shared by every :class:`ResultCache`
 #: instance (keys are content digests, so the directory is irrelevant).
@@ -141,16 +143,20 @@ def run_digest(
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-def payload_digest(kind: str, token) -> str:
+def payload_digest(kind: str, token, schema: int | None = None) -> str:
     """Content digest for an arbitrary cached payload.
 
     *kind* namespaces the digest (e.g. ``"plan-eval"``) so unrelated
     payloads can never collide even if their tokens coincide; *token*
     must canonicalize via :func:`_canonical` (dataclasses, enums,
-    dicts, sequences, scalars).
+    dicts, sequences, scalars).  *schema* carries an optional
+    payload-layout version (the scenario subsystem passes its
+    ``SCENARIO_SCHEMA``) hashed into the digest, so evolving a
+    payload's shape retires its old entries without a global
+    ``CACHE_VERSION`` bump.
     """
     body = {"version": CACHE_VERSION, "kind": kind,
-            "token": _canonical(token)}
+            "schema": schema, "token": _canonical(token)}
     text = json.dumps(body, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 

@@ -25,13 +25,13 @@ from repro.model.parameters import SiteParameters, paper_sites
 from repro.model.results import ChainResult, ModelSolution
 from repro.model.solver import solve_model
 from repro.model.types import BaseType, ChainType
-from repro.model.workload import STANDARD_WORKLOADS
+from repro.model.workload import STANDARD_WORKLOADS, WorkloadSpec
 from repro.testbed.metrics import SimulationMeasurement, SiteMeasurement
 from repro.testbed.system import CaratSimulation, SimulationConfig
 from repro.testbed.telemetry import Telemetry
 
-__all__ = ["compare_workload", "render_table", "flagged_rows",
-           "BASE_TO_USER_CHAIN"]
+__all__ = ["compare_workload", "compare_spec", "render_table",
+           "flagged_rows", "BASE_TO_USER_CHAIN"]
 
 #: Simulator base type -> the model's user chain at the home site.
 BASE_TO_USER_CHAIN = {
@@ -138,16 +138,37 @@ def compare_workload(workload_name: str, requests: int = 8,
                      quick: bool = False,
                      sites: dict[str, SiteParameters] | None = None,
                      sample_interval_ms: float = 1_000.0) -> dict[str, Any]:
-    """Solve + simulate one workload and return the residual report.
+    """Solve + simulate one standard workload and return the residual
+    report (name-based convenience over :func:`compare_spec`).
 
     ``quick`` shortens the simulation window (60 s measured after a
     10 s warm-up) for smoke tests; expect noisier residuals.
     """
     if workload_name not in STANDARD_WORKLOADS:
         raise ConfigurationError(f"unknown workload {workload_name!r}")
+    return compare_spec(STANDARD_WORKLOADS[workload_name](requests),
+                        seed=seed, duration_ms=duration_ms,
+                        warmup_ms=warmup_ms, quick=quick, sites=sites,
+                        sample_interval_ms=sample_interval_ms)
+
+
+def compare_spec(workload: WorkloadSpec,
+                 seed: int = 7,
+                 duration_ms: float = 600_000.0,
+                 warmup_ms: float = 60_000.0,
+                 quick: bool = False,
+                 sites: dict[str, SiteParameters] | None = None,
+                 sample_interval_ms: float = 1_000.0) -> dict[str, Any]:
+    """Solve + simulate an arbitrary workload spec and return the
+    residual report.
+
+    The workload-first entry point behind ``repro scenario compare``:
+    any :class:`WorkloadSpec` — hand-built, catalog or compiled from a
+    scenario — gets the same model-vs-measurement gate the paper
+    workloads do.
+    """
     if quick:
         duration_ms, warmup_ms = 60_000.0, 10_000.0
-    workload = STANDARD_WORKLOADS[workload_name](requests)
     site_params = sites if sites is not None else paper_sites()
     solution = solve_model(workload, site_params, max_iterations=1000)
     telemetry = Telemetry(sample_interval_ms=sample_interval_ms)
@@ -159,7 +180,7 @@ def compare_workload(workload_name: str, requests: int = 8,
     rows = _build_rows(workload, measurement, solution, telemetry)
     return {
         "workload": workload.name,
-        "requests": requests,
+        "requests": workload.requests_per_txn,
         "seed": seed,
         "warmup_ms": warmup_ms,
         "duration_ms": duration_ms,

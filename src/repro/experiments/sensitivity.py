@@ -125,11 +125,22 @@ def _swept_sites(sites: dict[str, SiteParameters],
     return swept
 
 
+def _as_workload(workload) -> WorkloadSpec:
+    """Accept a WorkloadSpec or a ScenarioSpec (compiled on entry)."""
+    if isinstance(workload, WorkloadSpec):
+        return workload
+    from repro.scenarios.compile import as_workload
+    return as_workload(workload)
+
+
 def run_sweep(request: SweepRequest,
               workload: WorkloadSpec,
               sites: dict[str, SiteParameters],
               warm_start: bool = True) -> SensitivityResult:
     """Run one sweep, chaining warm starts along the value axis.
+
+    ``workload`` may be a :class:`WorkloadSpec` or a
+    :class:`~repro.scenarios.spec.ScenarioSpec` (compiled on entry).
 
     The chained snapshots include the inner-MVA queue-iterate seeds,
     so each point resumes both fixed-point levels from the previous
@@ -141,6 +152,8 @@ def run_sweep(request: SweepRequest,
     (:func:`repro.model.outer.solve_outer_batch`), bit-identical to
     the sequential cold solves.
     """
+    workload = _as_workload(workload)
+
     def config(value):
         return ModelConfig(workload=workload,
                            sites=_swept_sites(sites, request, value),
@@ -188,7 +201,8 @@ def run_sweeps(requests: list[SweepRequest],
     from repro.experiments.parallel import map_calls
 
     return map_calls(run_sweep, list(requests), jobs=jobs,
-                     kwargs={"workload": workload, "sites": sites,
+                     kwargs={"workload": _as_workload(workload),
+                             "sites": sites,
                              "warm_start": warm_start})
 
 

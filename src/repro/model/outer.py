@@ -249,7 +249,6 @@ class _BatchEngine:
             if cfg.blocking_ratio_override is not None:
                 self.override[b] = cfg.blocking_ratio_override
                 self.has_ov[b] = True
-            collision = wl.collision_multiplier()
             recs: list[int] = []
             for m, ((site_name, chain), st) in enumerate(
                     model._state.items()):
@@ -260,6 +259,9 @@ class _BatchEngine:
                 self.qv[b, m] = st.q
                 self.lreq[b, m] = float(st.local_requests)
                 self.rreq[b, m] = float(st.remote_requests)
+                # Zipf multipliers depend on the site's granule count,
+                # so the collision factor is per (model, site).
+                collision = wl.collision_multiplier(site.granules)
                 self.gran[b, m] = float(max(1, int(round(
                     site.granules / collision))))
                 self.block_io[b, m] = site.block_io_ms

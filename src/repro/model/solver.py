@@ -611,7 +611,8 @@ class CaratModel:
         # Skewed access behaves, to first order, like uniform access to
         # a database shrunk by the collision multiplier (b-c rule).
         effective_granules = max(1, int(round(
-            site.granules / self.workload.collision_multiplier())))
+            site.granules
+            / self.workload.collision_multiplier(site.granules))))
         for chain, state in self._chain_items(site_name):
             new_pb = locking.blocking_probability(
                 chain, populations, locks_held, effective_granules)

@@ -52,6 +52,12 @@ class WorkloadSpec:
         record accesses goes to a ``hot_data_fraction`` share of the
         database (e.g. 0.8/0.2).  Both zero (the default, and the
         paper's setting) means uniform access.
+    zipf_s:
+        Optional Zipf access skew over granules: granule ``i`` is
+        accessed with probability proportional to ``i^-zipf_s``.
+        Zero (the default) means uniform access; mutually exclusive
+        with the b-c hot-spot rule.  The lock model folds the skew in
+        through :func:`repro.queueing.yao.zipf_collision_multiplier`.
     """
 
     name: str
@@ -62,6 +68,7 @@ class WorkloadSpec:
     think_time_ms: float = 0.0
     hot_access_fraction: float = 0.0
     hot_data_fraction: float = 0.0
+    zipf_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.requests_per_txn < 1:
@@ -96,6 +103,13 @@ class WorkloadSpec:
         if hot_a and not (0.0 < hot_a < 1.0 and 0.0 < hot_b < 1.0):
             raise ConfigurationError(
                 "hot-spot fractions must lie strictly in (0, 1)"
+            )
+        if self.zipf_s < 0.0 or self.zipf_s != self.zipf_s:
+            raise ConfigurationError("zipf_s must be >= 0")
+        if self.zipf_s > 0.0 and hot_a:
+            raise ConfigurationError(
+                "zipf_s and the b-c hot-spot rule are mutually "
+                "exclusive access-skew models"
             )
 
     def _has_distributed_users(self) -> bool:
@@ -159,14 +173,34 @@ class WorkloadSpec:
         """True when the b-c hot-spot rule is active."""
         return self.hot_access_fraction > 0.0
 
-    def collision_multiplier(self) -> float:
+    @property
+    def is_skewed(self) -> bool:
+        """True when any access-skew model (b-c or Zipf) is active."""
+        return self.is_hotspot or self.zipf_s > 0.0
+
+    def collision_multiplier(self,
+                             granules: int | None = None) -> float:
         """Contention inflation from skewed access.
 
         Two independent accesses collide with probability
         ``a^2 / b + (1 - a)^2 / (1 - b)`` times the uniform value under
         the b-c rule, so the lock model can treat skew as a uniformly
-        accessed database shrunk by this factor.
+        accessed database shrunk by this factor.  Zipf skew shrinks it
+        by the saturating pairwise-overlap multiplier of
+        :func:`~repro.queueing.yao.zipf_collision_multiplier` (the
+        transaction size bounds how hard hot granules can collide),
+        which depends on the site's granule count *m* — pass
+        ``granules`` whenever the workload may carry a Zipf exponent.
         """
+        if self.zipf_s > 0.0:
+            if granules is None:
+                raise ConfigurationError(
+                    "Zipf-skewed workloads need the site granule "
+                    "count to compute the collision multiplier"
+                )
+            from repro.queueing.yao import zipf_collision_multiplier
+            return zipf_collision_multiplier(self.zipf_s, granules,
+                                             self.requests_per_txn)
         if not self.is_hotspot:
             return 1.0
         a, b = self.hot_access_fraction, self.hot_data_fraction
@@ -178,6 +212,11 @@ class WorkloadSpec:
         from dataclasses import replace
         return replace(self, hot_access_fraction=access_fraction,
                        hot_data_fraction=data_fraction)
+
+    def with_zipf(self, s: float) -> WorkloadSpec:
+        """Copy of this workload with a Zipf access skew applied."""
+        from dataclasses import replace
+        return replace(self, zipf_s=s)
 
     def remote_request_fraction(self, origin: str, target: str) -> float:
         """``f(t, i, j)`` — fraction of remote requests sent to *target*.

@@ -14,9 +14,13 @@ specs into content digests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import ConfigurationError
 from repro.model.workload import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.scenarios.spec import ScenarioSpec
 
 __all__ = ["SloSpec", "PlanSpec", "MplPoint", "SaturationWindow",
            "OptimumResult", "SloVerdict", "BottleneckEntry",
@@ -108,6 +112,20 @@ class PlanSpec:
     def __post_init__(self) -> None:
         if self.mpl_max < 1:
             raise ConfigurationError("mpl_max must be >= 1")
+
+    @classmethod
+    def for_scenario(cls, scenario: ScenarioSpec,
+                     n: int | None = None,
+                     **kwargs: Any) -> PlanSpec:
+        """Plan a scenario's compiled mix.
+
+        The scenario lowers through
+        :func:`repro.scenarios.compile.compile_workload` (lazy import;
+        the planner stays importable without the scenarios package)
+        and the remaining :class:`PlanSpec` fields pass through.
+        """
+        from repro.scenarios.compile import compile_workload
+        return cls(workload=compile_workload(scenario, n=n), **kwargs)
 
     @property
     def model_kwargs(self) -> dict:

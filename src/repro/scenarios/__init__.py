@@ -1,0 +1,45 @@
+"""Declarative workload scenarios (docs/scenarios.md).
+
+The paper validates its model on exactly four hand-built workloads;
+this package turns workloads into *data* so arbitrary mixes can be
+generated, solved, simulated and gated:
+
+* :mod:`repro.scenarios.spec` — the :class:`ScenarioSpec` DSL plus
+  YAML round-tripping and content-addressed digests;
+* :mod:`repro.scenarios.generator` — seeded :class:`ScenarioFamily`
+  samplers drawing reproducible scenario matrices;
+* :mod:`repro.scenarios.compile` — lowering a spec onto the existing
+  :class:`~repro.model.solver.ModelConfig` /
+  :class:`~repro.testbed.system.SimulationConfig` pair;
+* :mod:`repro.scenarios.run` — sweep runs and the model-vs-simulator
+  residual gate over generated scenarios.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.compile import (ScenarioWorkloadFactory,
+                                     as_workload, compile_model,
+                                     compile_open, compile_pair,
+                                     compile_simulation,
+                                     compile_workload,
+                                     experiment_spec)
+from repro.scenarios.generator import (ScenarioFamily, family,
+                                       sample_family, sample_one,
+                                       standard_families)
+from repro.scenarios.spec import (SCENARIO_SCHEMA, OpenArrivals,
+                                  ScenarioSpec, SizeDistribution,
+                                  builtin_scenario,
+                                  builtin_scenarios, dump_path,
+                                  dumps, load_path, loads,
+                                  scenario_digest)
+
+__all__ = [
+    "SCENARIO_SCHEMA", "ScenarioSpec", "SizeDistribution",
+    "OpenArrivals", "scenario_digest", "dumps", "loads",
+    "dump_path", "load_path", "builtin_scenario",
+    "builtin_scenarios", "ScenarioFamily", "standard_families",
+    "family", "sample_one", "sample_family",
+    "ScenarioWorkloadFactory", "compile_workload", "compile_model",
+    "compile_simulation", "compile_pair", "compile_open",
+    "experiment_spec", "as_workload",
+]

@@ -1,0 +1,283 @@
+"""The ``repro scenario`` subcommand family (docs/scenarios.md).
+
+``list``
+    Committed paper specs and scenario families.
+``show``
+    One scenario as canonical YAML plus its content digest.
+``sample``
+    Draw seeded scenarios from a family; deterministic for a given
+    ``(family, seed, count)`` — byte-identical output across runs and
+    across ``--jobs`` values.
+``run``
+    Sweep scenarios through the experiment harness (model +
+    optionally simulator).
+``compare``
+    Model-vs-simulator residual gate over scenarios; exits 1 when
+    ``--max-residual`` is exceeded.
+
+Scenario *targets* are committed spec names (``lb8``...) or paths to
+YAML files; ``--family`` adds sampled scenarios to the target list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.scenarios.generator import family, sample_family
+from repro.scenarios.spec import (BUILTIN_NAMES, ScenarioSpec,
+                                  builtin_scenario, dumps, load_path,
+                                  scenario_digest)
+
+__all__ = ["add_scenario_parser", "cmd_scenario"]
+
+
+def add_scenario_parser(sub: Any) -> None:
+    """Attach the ``scenario`` subparser tree to the main CLI."""
+    scenario = sub.add_parser(
+        "scenario",
+        help="declarative workloads: list/show/sample/run/compare "
+             "(docs/scenarios.md)")
+    inner = scenario.add_subparsers(dest="scenario_command",
+                                    required=True)
+
+    inner.add_parser("list",
+                     help="committed specs and scenario families")
+
+    show = inner.add_parser(
+        "show", help="print one scenario as canonical YAML")
+    show.add_argument("target",
+                      help="committed spec name (lb8/mb4/mb8/ub6) or "
+                           "a YAML file path")
+
+    sample = inner.add_parser(
+        "sample",
+        help="draw seeded scenarios from a family (deterministic "
+             "per seed; --jobs cannot change the output)")
+    _family_args(sample, required=True)
+    sample.add_argument("--output-dir", default=None, metavar="DIR",
+                        help="also write each scenario as "
+                             "DIR/<name>.yaml")
+    sample.add_argument("--yaml", action="store_true",
+                        help="print full YAML specs instead of the "
+                             "digest summary lines")
+
+    run = inner.add_parser(
+        "run", help="sweep scenarios (model + simulator)")
+    run.add_argument("targets", nargs="*",
+                     help="spec names or YAML paths")
+    _family_args(run, required=False)
+    run.add_argument("--quick", action="store_true",
+                     help="short simulation window (smoke test)")
+    run.add_argument("--model-only", action="store_true",
+                     help="skip the simulator")
+    run.add_argument("--cached", action="store_true",
+                     help="serve/store sweeps via the result cache")
+    run.add_argument("--warm-start", action="store_true",
+                     help="chain the model solves along the sweep")
+    run.add_argument("--sim-seed", type=int, default=7,
+                     help="simulator seed (default 7)")
+
+    compare = inner.add_parser(
+        "compare",
+        help="model-vs-simulator residual gate over scenarios")
+    compare.add_argument("targets", nargs="*",
+                         help="spec names or YAML paths")
+    _family_args(compare, required=False)
+    compare.add_argument("--quick", action="store_true",
+                         help="short window (60s measured; noisier "
+                              "residuals)")
+    compare.add_argument("-n", "--requests", type=int, default=None,
+                         help="transaction size (default: the "
+                              "scenario size law's mean)")
+    compare.add_argument("--sim-seed", type=int, default=7,
+                         help="simulator seed (default 7)")
+    compare.add_argument("--duration-s", type=float, default=600.0,
+                         help="measured simulated seconds")
+    compare.add_argument("--warmup-s", type=float, default=60.0)
+    compare.add_argument("--max-residual", type=float, default=None,
+                         metavar="FRACTION",
+                         help="exit 1 when any comparable |residual| "
+                              "exceeds FRACTION (e.g. 0.3 = 30%%)")
+    compare.add_argument("--cached", action="store_true",
+                         help="memoize reports in the result cache")
+    compare.add_argument("--json", action="store_true",
+                         help="emit the full reports as JSON")
+    compare.add_argument("--output", default="-",
+                         help="file path or '-' for stdout")
+
+
+def _family_args(parser: argparse.ArgumentParser,
+                 required: bool) -> None:
+    parser.add_argument("--family", default=None,
+                        required=required,
+                        help="scenario family to sample from "
+                             "(see 'repro scenario list')")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="family sampling seed (default 7)")
+    parser.add_argument("--count", type=int, default=3,
+                        help="samples to draw (default 3)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (docs/parallel.md); "
+                             "0 means one per CPU")
+
+
+def _resolve_targets(args: argparse.Namespace) -> list[ScenarioSpec]:
+    """Positional targets plus any ``--family`` samples, in order."""
+    scenarios: list[ScenarioSpec] = []
+    for target in getattr(args, "targets", []):
+        if target.upper() in BUILTIN_NAMES:
+            scenarios.append(builtin_scenario(target))
+        elif os.path.exists(target):
+            scenarios.append(load_path(target))
+        else:
+            raise ConfigurationError(
+                f"unknown scenario target {target!r}: not a builtin "
+                f"spec ({', '.join(n.lower() for n in BUILTIN_NAMES)})"
+                f" and not a file")
+    if args.family is not None:
+        scenarios.extend(sample_family(
+            family(args.family), seed=args.seed, count=args.count,
+            jobs=args.jobs if args.jobs > 0 else None))
+    if not scenarios:
+        raise ConfigurationError(
+            "no scenarios selected; pass targets and/or --family")
+    return scenarios
+
+
+def _summary_line(spec: ScenarioSpec) -> str:
+    mix = "/".join(f"{name}:{weight:g}"
+                   for name, weight in sorted(spec.mix.items())
+                   if weight > 0)
+    mpl = ",".join(f"{site}={users}"
+                   for site, users in sorted(spec.mpl.items()))
+    extras = []
+    if spec.zipf_s > 0.0:
+        extras.append(f"zipf={spec.zipf_s:g}")
+    if spec.size.kind != "fixed":
+        extras.append(f"size={spec.size.kind}")
+    if spec.arrivals is not None:
+        extras.append("open")
+    suffix = f" [{' '.join(extras)}]" if extras else ""
+    return (f"{spec.name}  digest={scenario_digest(spec)[:12]}  "
+            f"mix={mix}  mpl={mpl}{suffix}")
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.scenarios.generator import standard_families
+    print("committed scenario specs:")
+    for name in BUILTIN_NAMES:
+        spec = builtin_scenario(name)
+        print(f"  {_summary_line(spec)}")
+    print("scenario families (repro scenario sample --family NAME):")
+    for name, fam in sorted(standard_families().items()):
+        print(f"  {name:<14} {fam.description}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    target = args.target
+    if target.upper() in BUILTIN_NAMES:
+        spec = builtin_scenario(target)
+    elif os.path.exists(target):
+        spec = load_path(target)
+    else:
+        raise ConfigurationError(
+            f"unknown scenario target {target!r}")
+    print(f"# digest: {scenario_digest(spec)}")
+    print(dumps(spec), end="")
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    scenarios = sample_family(
+        family(args.family), seed=args.seed, count=args.count,
+        jobs=args.jobs if args.jobs > 0 else None)
+    for spec in scenarios:
+        if args.yaml:
+            print(f"# digest: {scenario_digest(spec)}")
+            print(dumps(spec))
+        else:
+            print(_summary_line(spec))
+    if args.output_dir is not None:
+        os.makedirs(args.output_dir, exist_ok=True)
+        for spec in scenarios:
+            path = os.path.join(args.output_dir, f"{spec.name}.yaml")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(dumps(spec))
+        print(f"wrote {len(scenarios)} specs to {args.output_dir}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import render_summary_table
+    from repro.scenarios.run import run_scenarios
+
+    scenarios = _resolve_targets(args)
+    results = run_scenarios(
+        scenarios, quick=args.quick, model_only=args.model_only,
+        jobs=args.jobs if args.jobs > 0 else None,
+        use_cache=args.cached, warm_start=args.warm_start,
+        sim_seed=args.sim_seed)
+    for scenario, result in zip(scenarios, results):
+        print(f"== {scenario.name} "
+              f"(digest {scenario_digest(scenario)[:12]}) ==")
+        print(render_summary_table(result))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.scenarios.run import compare_scenarios, flagged_total
+
+    scenarios = _resolve_targets(args)
+    reports, failures = compare_scenarios(
+        scenarios, max_residual=args.max_residual,
+        jobs=args.jobs if args.jobs > 0 else None,
+        n=args.requests, sim_seed=args.sim_seed,
+        duration_ms=args.duration_s * 1e3,
+        warmup_ms=args.warmup_s * 1e3, quick=args.quick,
+        use_cache=args.cached)
+    text = _render_compare(reports, args)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    if args.max_residual is not None and failures:
+        flagged = flagged_total(reports, args.max_residual)
+        print(f"FAIL: {failures} of {len(reports)} scenarios exceed "
+              f"|residual| > {100.0 * args.max_residual:.0f}% "
+              f"({flagged} rows)")
+        return 1
+    return 0
+
+
+def _render_compare(reports: list[dict[str, Any]],
+                    args: argparse.Namespace) -> str:
+    from repro.experiments.compare import render_table
+    if args.json:
+        return json.dumps(reports, indent=2, sort_keys=True)
+    blocks = []
+    for report in reports:
+        scenario = report["scenario"]
+        blocks.append(f"== {scenario['name']} "
+                      f"(digest {scenario['digest'][:12]}) ==")
+        blocks.append(render_table(report,
+                                   max_residual=args.max_residual))
+    return "\n".join(blocks)
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """Dispatch one ``repro scenario`` subcommand."""
+    handlers = {
+        "list": _cmd_list,
+        "show": _cmd_show,
+        "sample": _cmd_sample,
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+    }
+    return handlers[args.scenario_command](args)

@@ -1,0 +1,216 @@
+"""Lowering scenarios onto the model and the simulator.
+
+One :class:`~repro.scenarios.spec.ScenarioSpec` compiles to one
+:class:`~repro.model.workload.WorkloadSpec`, which both the analytic
+solver (:func:`compile_model`) and the CARAT testbed simulator
+(:func:`compile_simulation`) consume — so ``repro compare``'s
+model-vs-measurement residual gate extends to every generated
+scenario with no new plumbing (:func:`repro.scenarios.run
+.compare_scenario`).
+
+The mix is apportioned over each site's MPL by the largest-remainder
+method with canonical type order as the tie-break: deterministic,
+exact for the paper's integer mixes (the committed LB8/MB4/MB8/UB6
+YAML specs compile bit-identical to the hand-coded catalog
+factories), and zero-weight types compile away entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.model.open_solver import OpenWorkload
+from repro.model.parameters import SiteParameters, paper_sites
+from repro.model.solver import ModelConfig
+from repro.model.types import BaseType
+from repro.model.workload import WorkloadSpec
+from repro.scenarios.spec import BASE_ORDER, ScenarioSpec, \
+    scenario_digest
+from repro.testbed.system import SimulationConfig
+
+__all__ = ["apportion_mix", "compile_workload", "compile_model",
+           "compile_simulation", "compile_pair", "compile_open",
+           "ScenarioWorkloadFactory", "experiment_spec",
+           "as_workload"]
+
+
+def apportion_mix(mix: dict[str, float], users: int) -> dict[BaseType, int]:
+    """Integer populations for *users* terminals under *mix*.
+
+    Largest-remainder apportionment: every positive-weight type gets
+    the floor of its exact share, and the leftover seats go to the
+    largest fractional remainders, ties broken in canonical base-type
+    order.  Types that end up with zero users are omitted, so the
+    result matches hand-written ``users`` dicts exactly.
+    """
+    total = sum(mix.values())
+    if total <= 0.0:
+        raise ConfigurationError("mix needs a positive total weight")
+    shares = [(base, users * mix.get(base.value, 0.0) / total)
+              for base in BASE_ORDER
+              if mix.get(base.value, 0.0) > 0.0]
+    counts = {base: int(share) for base, share in shares}
+    leftover = users - sum(counts.values())
+    remainders = sorted(
+        ((share - int(share), -BASE_ORDER.index(base), base)
+         for base, share in shares),
+        reverse=True)
+    for _, _, base in remainders[:leftover]:
+        counts[base] += 1
+    return {base: count for base, count in counts.items() if count > 0}
+
+
+def _schedule_mpl(spec: ScenarioSpec,
+                  mpl_scale: float) -> dict[str, int]:
+    """Per-site populations at one load-schedule level."""
+    if mpl_scale <= 0.0:
+        raise ConfigurationError("mpl_scale must be > 0")
+    if mpl_scale == 1.0:
+        return dict(spec.mpl)
+    return {site: max(1, int(round(users * mpl_scale)))
+            for site, users in spec.mpl.items() if users > 0}
+
+
+def compile_workload(spec: ScenarioSpec, n: int | None = None,
+                     mpl_scale: float = 1.0) -> WorkloadSpec:
+    """Lower a scenario to a :class:`WorkloadSpec`.
+
+    ``n`` overrides the transaction size (sweeps pass each grid
+    point); by default the size law's rounded mean is used, which is
+    exact for the paper's ``fixed`` sizes.  ``mpl_scale`` scales
+    every site's population (load schedules).
+    """
+    requests = n if n is not None else spec.size.mean_requests()
+    users: dict[str, dict[BaseType, int]] = {}
+    for site, population in sorted(_schedule_mpl(spec,
+                                                 mpl_scale).items()):
+        users[site] = apportion_mix(spec.mix, population)
+    return WorkloadSpec(
+        name=spec.name,
+        users=users,
+        requests_per_txn=requests,
+        records_per_request=spec.records_per_request,
+        remote_fraction=spec.remote_fraction,
+        think_time_ms=spec.think_time_ms,
+        hot_access_fraction=spec.hot_access_fraction,
+        hot_data_fraction=spec.hot_data_fraction,
+        zipf_s=spec.zipf_s,
+    )
+
+
+def compile_model(spec: ScenarioSpec,
+                  sites: dict[str, SiteParameters] | None = None,
+                  n: int | None = None,
+                  mpl_scale: float = 1.0,
+                  **model_kwargs: Any) -> ModelConfig:
+    """Scenario -> solver configuration (paper site parameters by
+    default; extra kwargs forward to :class:`ModelConfig`)."""
+    return ModelConfig(
+        workload=compile_workload(spec, n=n, mpl_scale=mpl_scale),
+        sites=sites if sites is not None else paper_sites(),
+        **model_kwargs)
+
+
+def compile_simulation(spec: ScenarioSpec,
+                       sites: dict[str, SiteParameters] | None = None,
+                       n: int | None = None,
+                       mpl_scale: float = 1.0,
+                       **sim_kwargs: Any) -> SimulationConfig:
+    """Scenario -> simulator configuration (same lowering as
+    :func:`compile_model`, so both consume one workload)."""
+    return SimulationConfig(
+        workload=compile_workload(spec, n=n, mpl_scale=mpl_scale),
+        sites=sites if sites is not None else paper_sites(),
+        **sim_kwargs)
+
+
+def compile_pair(spec: ScenarioSpec,
+                 sites: dict[str, SiteParameters] | None = None,
+                 n: int | None = None,
+                 model_kwargs: dict[str, Any] | None = None,
+                 sim_kwargs: dict[str, Any] | None = None,
+                 ) -> tuple[ModelConfig, SimulationConfig]:
+    """The model/simulator configuration pair for one scenario —
+    guaranteed to share the identical compiled workload object."""
+    site_params = sites if sites is not None else paper_sites()
+    workload = compile_workload(spec, n=n)
+    model = ModelConfig(workload=workload, sites=site_params,
+                        **(model_kwargs or {}))
+    sim = SimulationConfig(workload=workload, sites=site_params,
+                           **(sim_kwargs or {}))
+    return model, sim
+
+
+def compile_open(spec: ScenarioSpec,
+                 n: int | None = None,
+                 ) -> tuple[OpenWorkload, float]:
+    """Scenario -> open-model workload plus its burstiness.
+
+    The per-site arrival rate splits over the mix proportionally to
+    the normalized weights.  The returned burstiness (squared CV of
+    interarrivals) parameterizes
+    :class:`~repro.testbed.system.OpenCaratSimulation`; the analytic
+    open solver is insensitive to it (Poisson assumption), which is
+    exactly the model-vs-simulator gap burstiness studies probe.
+    """
+    if spec.arrivals is None:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} has no arrivals section")
+    template = compile_workload(spec, n=n)
+    shares = spec.normalized_mix()
+    arrivals: dict[str, dict[BaseType, float]] = {}
+    for site in spec.sites:
+        rate = spec.arrivals.rate_per_s.get(site, 0.0)
+        arrivals[site] = {BaseType(name): rate * share
+                          for name, share in shares.items()}
+    return (OpenWorkload(template=template, arrivals_per_s=arrivals),
+            spec.arrivals.burstiness)
+
+
+@dataclass(frozen=True)
+class ScenarioWorkloadFactory:
+    """Picklable ``n -> WorkloadSpec`` adapter for the runner.
+
+    Module-level and frozen, so experiment specs built from scenarios
+    survive the process fan-out (``--jobs``) and hash through the
+    result cache like catalog factories — the cache digests the
+    factory's *products*, not its identity.
+    """
+
+    scenario: ScenarioSpec
+
+    def __call__(self, n: int) -> WorkloadSpec:
+        return compile_workload(self.scenario, n=n)
+
+
+def experiment_spec(spec: ScenarioSpec) -> Any:
+    """Scenario -> :class:`~repro.experiments.runner.ExperimentSpec`.
+
+    The experiment id embeds the scenario digest, so distinct
+    scenarios can never collide in reports or cache keys.
+    """
+    from repro.experiments.runner import ExperimentSpec
+    return ExperimentSpec(
+        exp_id=f"scn-{scenario_digest(spec)[:10]}",
+        title=f"Scenario {spec.name}",
+        workload_factory=ScenarioWorkloadFactory(spec),
+        sweep=spec.sweep,
+        sites_of_interest=spec.sites,
+    )
+
+
+def as_workload(obj: Any, n: int | None = None) -> WorkloadSpec:
+    """Coerce a workload-or-scenario to a :class:`WorkloadSpec`.
+
+    Entry points that historically took workloads (sensitivity,
+    planner) accept scenarios through this shim.
+    """
+    if isinstance(obj, WorkloadSpec):
+        return obj
+    if isinstance(obj, ScenarioSpec):
+        return compile_workload(obj, n=n)
+    raise ConfigurationError(
+        f"expected a WorkloadSpec or ScenarioSpec, got "
+        f"{type(obj).__name__}")

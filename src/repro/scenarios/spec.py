@@ -1,0 +1,456 @@
+"""The declarative scenario DSL (docs/scenarios.md).
+
+A :class:`ScenarioSpec` is a pure-data description of one workload
+scenario: the transaction mix, the per-type transaction size
+distribution, the access-skew law, the per-site multiprogramming
+levels (with an optional load schedule) and, for open-model runs, the
+arrival process.  Specs round-trip through YAML (``dumps``/``loads``)
+and hash to stable content digests (:func:`scenario_digest`) so the
+experiments cache and the planner memoization address generated
+scenarios exactly like hand-built ones.
+
+The four paper workloads ship as committed YAML files under
+``specs/``; :func:`builtin_scenario` loads them by name and the test
+suite pins their compiled :class:`~repro.model.solver.ModelConfig`
+equality against the hand-coded catalog.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from importlib import resources
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.model.types import BaseType
+
+__all__ = ["SCENARIO_SCHEMA", "SizeDistribution", "OpenArrivals",
+           "ScenarioSpec", "scenario_digest", "dumps", "loads",
+           "dump_path", "load_path", "builtin_scenario",
+           "builtin_scenarios", "BUILTIN_NAMES"]
+
+#: Scenario schema version, bumped on any change to the spec layout.
+#: Rides inside every serialized spec and every scenario digest, so
+#: old YAML files fail loudly and old cache entries can never alias.
+SCENARIO_SCHEMA = 1
+
+#: Canonical base-type order (ties, YAML key order, apportionment).
+BASE_ORDER: tuple[BaseType, ...] = (BaseType.LRO, BaseType.LU,
+                                    BaseType.DRO, BaseType.DU)
+
+_BASE_NAMES = tuple(base.value for base in BASE_ORDER)
+
+#: Names of the committed paper-scenario YAML files.
+BUILTIN_NAMES = ("LB8", "MB4", "MB8", "UB6")
+
+
+def _yaml() -> Any:
+    """Import PyYAML lazily with a clear failure mode."""
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - env-dependent
+        raise ConfigurationError(
+            "scenario YAML support needs the 'pyyaml' package "
+            "(pip install pyyaml)") from exc
+    return yaml
+
+
+@dataclass(frozen=True)
+class SizeDistribution:
+    """Transaction-size law: requests issued per transaction.
+
+    ``kind`` selects the law:
+
+    * ``"fixed"`` — every transaction issues ``value`` requests (the
+      paper's setting; ``value`` must be a positive integer);
+    * ``"uniform"`` — integer uniform on ``[low, high]``;
+    * ``"geometric"`` — geometric with mean ``value`` (support
+      ``1, 2, ...``).
+
+    Both :class:`~repro.model.solver.ModelConfig` and
+    :class:`~repro.testbed.system.SimulationConfig` consume a fixed
+    ``requests_per_txn``, so compilation lowers a distribution to its
+    rounded mean (exact for ``fixed``); :meth:`sample` draws actual
+    sizes for samplers that want per-scenario variation.
+    """
+
+    kind: str = "fixed"
+    value: float = 8.0
+    low: int = 0
+    high: int = 0
+
+    _KINDS = ("fixed", "uniform", "geometric")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ConfigurationError(
+                f"unknown size distribution {self.kind!r}; expected "
+                f"one of {self._KINDS}")
+        if self.kind == "uniform":
+            if not 1 <= self.low <= self.high:
+                raise ConfigurationError(
+                    "uniform size needs 1 <= low <= high")
+        elif self.value < 1.0:
+            raise ConfigurationError(
+                f"{self.kind} size needs value >= 1, got {self.value}")
+        if self.kind == "fixed" and self.value != int(self.value):
+            raise ConfigurationError(
+                "fixed size must be a whole request count")
+
+    def mean(self) -> float:
+        """First moment of the law."""
+        if self.kind == "uniform":
+            return (self.low + self.high) / 2.0
+        return float(self.value)
+
+    def mean_requests(self) -> int:
+        """The rounded mean used when lowering to a fixed size."""
+        return max(1, int(round(self.mean())))
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """One integer draw from the law (always >= 1)."""
+        if self.kind == "fixed":
+            return int(self.value)
+        if self.kind == "uniform":
+            return int(rng.integers(self.low, self.high + 1))
+        # numpy's geometric is supported on {1, 2, ...} with mean 1/p.
+        return int(rng.geometric(1.0 / self.mean()))
+
+    def to_dict(self) -> dict[str, Any]:
+        if self.kind == "uniform":
+            return {"kind": self.kind, "low": self.low,
+                    "high": self.high}
+        return {"kind": self.kind, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> SizeDistribution:
+        _require_keys("size", data, allowed=("kind", "value", "low",
+                                             "high"))
+        return cls(kind=data.get("kind", "fixed"),
+                   value=float(data.get("value", 8.0)),
+                   low=int(data.get("low", 0)),
+                   high=int(data.get("high", 0)))
+
+
+@dataclass(frozen=True)
+class OpenArrivals:
+    """Open-model arrival process for a scenario.
+
+    ``rate_per_s`` is the total transaction arrival rate per site
+    (split over the mix proportionally to its weights);
+    ``burstiness`` is the squared coefficient of variation of the
+    interarrival times — 1 keeps Poisson arrivals, larger values
+    compile to the simulator's balanced hyperexponential sources.
+    """
+
+    rate_per_s: dict[str, float]
+    burstiness: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.rate_per_s:
+            raise ConfigurationError(
+                "open arrivals need at least one site rate")
+        for site, rate in self.rate_per_s.items():
+            if rate < 0.0:
+                raise ConfigurationError(
+                    f"negative arrival rate at {site!r}")
+        if self.burstiness < 1.0:
+            raise ConfigurationError(
+                "burstiness (squared CV) must be >= 1")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"rate_per_s": {site: float(rate) for site, rate
+                               in sorted(self.rate_per_s.items())},
+                "burstiness": float(self.burstiness)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> OpenArrivals:
+        _require_keys("arrivals", data,
+                      allowed=("rate_per_s", "burstiness"))
+        rates = data.get("rate_per_s")
+        if not isinstance(rates, dict):
+            raise ConfigurationError(
+                "arrivals.rate_per_s must map site -> rate")
+        return cls(rate_per_s={str(site): float(rate)
+                               for site, rate in rates.items()},
+                   burstiness=float(data.get("burstiness", 1.0)))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative workload scenario.
+
+    Parameters
+    ----------
+    name:
+        Scenario identifier (becomes the compiled workload's name).
+    mix:
+        ``{base type name: weight}`` — the relative transaction mix,
+        apportioned over each site's MPL at compile time.  Types may
+        carry weight 0 (they compile away); at least one weight must
+        be positive.
+    mpl:
+        ``{site: users}`` — per-site multiprogramming level.  Sites
+        and their (possibly unequal) populations are the scenario's;
+        the paper's two-node symmetry is just the special case
+        ``{"A": k, "B": k}``.
+    size:
+        Transaction-size law (see :class:`SizeDistribution`).
+    sweep:
+        Transaction sizes for sweep-style runs (``repro scenario
+        run``); defaults to the paper's 4..20 grid.
+    records_per_request, remote_fraction, think_time_ms:
+        Forwarded to :class:`~repro.model.workload.WorkloadSpec`.
+    zipf_s:
+        Zipf access-skew exponent over granules (0 = uniform access,
+        exactly the Yao baseline).
+    hot_access_fraction, hot_data_fraction:
+        The b-c hot-spot rule; mutually exclusive with ``zipf_s``.
+    mpl_schedule:
+        Optional load schedule: multiplicative MPL levels (e.g.
+        ``(0.5, 1.0, 2.0)``) that scale every site's population,
+        for load-ramp studies.
+    arrivals:
+        Optional open-model arrival process (closed scenarios leave
+        this ``None``).
+    description:
+        Free-form provenance note (families stamp theirs here).
+    """
+
+    name: str
+    mix: dict[str, float]
+    mpl: dict[str, int]
+    size: SizeDistribution = field(default_factory=SizeDistribution)
+    sweep: tuple[int, ...] = (4, 8, 12, 16, 20)
+    records_per_request: int = 4
+    remote_fraction: float = 0.5
+    think_time_ms: float = 0.0
+    zipf_s: float = 0.0
+    hot_access_fraction: float = 0.0
+    hot_data_fraction: float = 0.0
+    mpl_schedule: tuple[float, ...] = ()
+    arrivals: OpenArrivals | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario needs a name")
+        if not self.mix:
+            raise ConfigurationError("scenario needs a mix")
+        for base_name, weight in self.mix.items():
+            if base_name not in _BASE_NAMES:
+                raise ConfigurationError(
+                    f"unknown base type {base_name!r} in mix; "
+                    f"expected one of {_BASE_NAMES}")
+            if weight < 0.0 or weight != weight:
+                raise ConfigurationError(
+                    f"mix weight for {base_name} must be >= 0")
+        if not any(w > 0.0 for w in self.mix.values()):
+            raise ConfigurationError(
+                "mix needs at least one positive weight")
+        if not self.mpl:
+            raise ConfigurationError("scenario needs at least one site")
+        for site, users in self.mpl.items():
+            if users < 0:
+                raise ConfigurationError(
+                    f"negative MPL at site {site!r}")
+        if not any(self.mpl.values()):
+            raise ConfigurationError(
+                "scenario needs at least one user")
+        if not self.sweep:
+            raise ConfigurationError("sweep needs at least one size")
+        if any(n < 1 for n in self.sweep):
+            raise ConfigurationError("sweep sizes must be >= 1")
+        for level in self.mpl_schedule:
+            if level <= 0.0:
+                raise ConfigurationError(
+                    "mpl_schedule levels must be > 0")
+        if self.zipf_s > 0.0 and self.hot_access_fraction > 0.0:
+            raise ConfigurationError(
+                "zipf_s and the b-c hot-spot rule are mutually "
+                "exclusive access-skew models")
+        if self.arrivals is not None:
+            unknown = [site for site in self.arrivals.rate_per_s
+                       if site not in self.mpl]
+            if unknown:
+                raise ConfigurationError(
+                    f"arrival rates name unknown sites {unknown}")
+
+    # -- derived views --------------------------------------------------------
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        """Site names in deterministic (sorted) order."""
+        return tuple(sorted(self.mpl))
+
+    def total_users(self) -> int:
+        """Total population over all sites."""
+        return sum(self.mpl.values())
+
+    def normalized_mix(self) -> dict[str, float]:
+        """Mix weights scaled to sum to 1, in canonical type order."""
+        total = sum(self.mix.values())
+        return {name: self.mix.get(name, 0.0) / total
+                for name in _BASE_NAMES if self.mix.get(name, 0.0) > 0}
+
+    @property
+    def is_distributed(self) -> bool:
+        """True when the mix carries distributed transaction types."""
+        return any(self.mix.get(name, 0.0) > 0.0
+                   for name in ("DRO", "DU"))
+
+    def with_name(self, name: str) -> ScenarioSpec:
+        return replace(self, name=name)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready canonical form (stable key order inside maps)."""
+        data: dict[str, Any] = {
+            "schema": SCENARIO_SCHEMA,
+            "name": self.name,
+            "description": self.description,
+            "mix": {name: float(self.mix[name])
+                    for name in _BASE_NAMES if name in self.mix},
+            "mpl": {site: int(self.mpl[site])
+                    for site in sorted(self.mpl)},
+            "size": self.size.to_dict(),
+            "sweep": [int(n) for n in self.sweep],
+            "records_per_request": self.records_per_request,
+            "remote_fraction": self.remote_fraction,
+            "think_time_ms": self.think_time_ms,
+            "zipf_s": self.zipf_s,
+            "hot_access_fraction": self.hot_access_fraction,
+            "hot_data_fraction": self.hot_data_fraction,
+            "mpl_schedule": [float(v) for v in self.mpl_schedule],
+            "arrivals": (self.arrivals.to_dict()
+                         if self.arrivals is not None else None),
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> ScenarioSpec:
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"scenario document must be a mapping, got "
+                f"{type(data).__name__}")
+        schema = data.get("schema", SCENARIO_SCHEMA)
+        if schema != SCENARIO_SCHEMA:
+            raise ConfigurationError(
+                f"scenario schema {schema!r} not supported (this "
+                f"build reads schema {SCENARIO_SCHEMA})")
+        _require_keys(
+            "scenario", data,
+            allowed=("schema", "name", "description", "mix", "mpl",
+                     "size", "sweep", "records_per_request",
+                     "remote_fraction", "think_time_ms", "zipf_s",
+                     "hot_access_fraction", "hot_data_fraction",
+                     "mpl_schedule", "arrivals"))
+        for key in ("name", "mix", "mpl"):
+            if key not in data:
+                raise ConfigurationError(
+                    f"scenario document misses required key {key!r}")
+        arrivals = data.get("arrivals")
+        return cls(
+            name=str(data["name"]),
+            description=str(data.get("description", "")),
+            mix={str(k): float(v) for k, v in data["mix"].items()},
+            mpl={str(k): int(v) for k, v in data["mpl"].items()},
+            size=SizeDistribution.from_dict(
+                data.get("size", {"kind": "fixed", "value": 8})),
+            sweep=tuple(int(n)
+                        for n in data.get("sweep", (4, 8, 12, 16, 20))),
+            records_per_request=int(data.get("records_per_request", 4)),
+            remote_fraction=float(data.get("remote_fraction", 0.5)),
+            think_time_ms=float(data.get("think_time_ms", 0.0)),
+            zipf_s=float(data.get("zipf_s", 0.0)),
+            hot_access_fraction=float(
+                data.get("hot_access_fraction", 0.0)),
+            hot_data_fraction=float(
+                data.get("hot_data_fraction", 0.0)),
+            mpl_schedule=tuple(float(v)
+                               for v in data.get("mpl_schedule", ())),
+            arrivals=(OpenArrivals.from_dict(arrivals)
+                      if arrivals is not None else None),
+        )
+
+
+def _require_keys(where: str, data: dict[str, Any],
+                  allowed: tuple[str, ...]) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {where} keys {unknown}; expected a subset of "
+            f"{sorted(allowed)}")
+
+
+# ---------------------------------------------------------------------------
+# digests
+# ---------------------------------------------------------------------------
+
+
+def scenario_digest(spec: ScenarioSpec) -> str:
+    """SHA-256 content digest of a scenario.
+
+    Hashes the canonical ``to_dict`` form (schema version included),
+    so two specs digest equal iff they serialize equal — the property
+    the experiments cache and CLI rely on.
+    """
+    text = json.dumps(spec.to_dict(), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# YAML round-trip
+# ---------------------------------------------------------------------------
+
+
+def dumps(spec: ScenarioSpec) -> str:
+    """Serialize a scenario to canonical YAML (sorted keys)."""
+    return str(_yaml().safe_dump(spec.to_dict(), sort_keys=True,
+                                 default_flow_style=False))
+
+
+def loads(text: str) -> ScenarioSpec:
+    """Parse one scenario from YAML text."""
+    data = _yaml().safe_load(text)
+    return ScenarioSpec.from_dict(data)
+
+
+def dump_path(spec: ScenarioSpec, path: str) -> None:
+    """Write a scenario as a YAML file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(spec))
+
+
+def load_path(path: str) -> ScenarioSpec:
+    """Load a scenario from a YAML file."""
+    with open(path, encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+# ---------------------------------------------------------------------------
+# committed paper scenarios
+# ---------------------------------------------------------------------------
+
+
+def builtin_scenario(name: str) -> ScenarioSpec:
+    """One of the committed paper scenarios (case-insensitive)."""
+    canonical = name.upper()
+    if canonical not in BUILTIN_NAMES:
+        raise ConfigurationError(
+            f"unknown builtin scenario {name!r}; expected one of "
+            f"{BUILTIN_NAMES}")
+    ref = resources.files("repro.scenarios") / "specs" \
+        / f"{canonical.lower()}.yaml"
+    return loads(ref.read_text(encoding="utf-8"))
+
+
+def builtin_scenarios() -> dict[str, ScenarioSpec]:
+    """All committed paper scenarios, by name."""
+    return {name: builtin_scenario(name) for name in BUILTIN_NAMES}

@@ -345,9 +345,11 @@ class UserProcess:
 
     def _pick_records(self, node: CaratNode, count: int) -> list[int]:
         """Random records from the site's partition — uniform, or
-        skewed per the workload's b-c hot-spot rule."""
+        skewed per the workload's b-c hot-spot or Zipf rule."""
         total = node.storage.records_total
         workload = self.system.workload
+        if workload.zipf_s > 0.0:
+            return self._pick_zipf_records(node, count)
         if not workload.is_hotspot:
             return self.rng.sample(range(total), count)
         hot_records = max(1, int(total * workload.hot_data_fraction))
@@ -357,6 +359,24 @@ class UserProcess:
                 picked.add(self.rng.randrange(hot_records))
             else:
                 picked.add(self.rng.randrange(hot_records, total))
+        return list(picked)
+
+    def _pick_zipf_records(self, node: CaratNode,
+                           count: int) -> list[int]:
+        """Zipf-skewed draw: granule ``i`` with probability
+        proportional to ``(i + 1)^-s``, then a uniform record within
+        the granule, retrying duplicates until ``count`` are distinct
+        (mirrors the model's collision-multiplier view of the skew)."""
+        import bisect
+        cdf = self.system.zipf_cdf(node.name)
+        per_granule = node.storage.records_per_granule
+        picked: set[int] = set()
+        while len(picked) < count:
+            granule = bisect.bisect_right(cdf, self.rng.random())
+            if granule >= len(cdf):  # guard the u == 1.0 edge
+                granule = len(cdf) - 1
+            picked.add(granule * per_granule
+                       + self.rng.randrange(per_granule))
         return list(picked)
 
     def _acquire_lock(self, txn: Transaction, node: CaratNode,

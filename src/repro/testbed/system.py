@@ -103,6 +103,32 @@ class CaratSimulation:
             for base in BaseType:
                 for index in range(self.workload.user_count(site, base)):
                     self.users.append(UserProcess(self, site, base, index))
+        #: per-site cumulative Zipf CDF over granules (lazy; only
+        #: built when the workload carries a Zipf exponent)
+        self._zipf_cdfs: dict[str, list[float]] = {}
+
+    def zipf_cdf(self, site: str) -> list[float]:
+        """Cumulative granule-access distribution for Zipf workloads.
+
+        Shared by every user process at *site*; deterministic (no RNG)
+        so caching it cannot perturb replayability.
+        """
+        cached = self._zipf_cdfs.get(site)
+        if cached is not None:
+            return cached
+        import math
+        s = self.workload.zipf_s
+        granules = self.nodes[site].storage.granules
+        weights = [(i + 1) ** -s for i in range(granules)]
+        total = math.fsum(weights)
+        cdf: list[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cdf.append(acc)
+        cdf[-1] = 1.0
+        self._zipf_cdfs[site] = cdf
+        return cdf
 
     # -- cross-cutting actions -------------------------------------------------
 
@@ -238,12 +264,22 @@ class OpenCaratSimulation(CaratSimulation):
     spawns one-shot transactions at exponential interarrival times.
     Each spawned transaction retries until commit, like the open
     model's ``N_s`` accounting.
+
+    ``burstiness`` is the squared coefficient of variation of the
+    interarrival times: 1 (the default) keeps the Poisson sources,
+    larger values draw from a balanced two-phase hyperexponential
+    with the same mean — the scenario DSL's knob for bursty arrivals.
     """
 
     def __init__(self, config: SimulationConfig,
-                 arrivals_per_s: dict[str, dict[BaseType, float]]):
+                 arrivals_per_s: dict[str, dict[BaseType, float]],
+                 burstiness: float = 1.0):
         super().__init__(config)
+        if burstiness < 1.0:
+            raise ConfigurationError(
+                "burstiness (squared CV) must be >= 1")
         self.arrivals_per_s = arrivals_per_s
+        self.burstiness = burstiness
         self.users = []        # closed terminals disabled
 
     def run(self) -> SimulationMeasurement:
@@ -258,11 +294,12 @@ class OpenCaratSimulation(CaratSimulation):
                 .encode("ascii"))
             rng = _random.Random(seed)
             index = 0
+            draw = self._interarrival_sampler(rng, rate_per_ms)
 
             def body():
                 nonlocal index
                 while True:
-                    yield Timeout(rng.expovariate(rate_per_ms))
+                    yield Timeout(draw())
                     user = UserProcess(self, site, base, index)
                     index += 1
                     yield Fork(user.run_one())
@@ -279,3 +316,27 @@ class OpenCaratSimulation(CaratSimulation):
         horizon = self.config.warmup_ms + self.config.duration_ms
         self.sim.run(until=horizon)
         return self._collect()
+
+    def _interarrival_sampler(self, rng, rate_per_ms: float):
+        """Interarrival draw with the configured burstiness.
+
+        ``burstiness == 1`` keeps the exponential source untouched
+        (bit-identical to pre-burstiness runs).  Beyond 1 a balanced
+        two-phase hyperexponential matches the mean ``1/rate`` and
+        squared CV exactly: branch ``i`` has probability ``p_i`` and
+        rate ``2 p_i * rate``, with ``p_1`` chosen so the second
+        moment hits ``(c2 + 1) / rate^2``.
+        """
+        if self.burstiness == 1.0:
+            return lambda: rng.expovariate(rate_per_ms)
+        import math
+        c2 = self.burstiness
+        p1 = 0.5 * (1.0 + math.sqrt((c2 - 1.0) / (c2 + 1.0)))
+        rate1 = 2.0 * p1 * rate_per_ms
+        rate2 = 2.0 * (1.0 - p1) * rate_per_ms
+
+        def draw() -> float:
+            branch = rate1 if rng.random() < p1 else rate2
+            return rng.expovariate(branch)
+
+        return draw

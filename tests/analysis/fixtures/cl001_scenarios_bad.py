@@ -1,0 +1,14 @@
+"""CL001 bad fixture for the scenarios scope: unseeded draws in a
+sampler.  Linted as ``repro.scenarios.generator``."""
+
+import random
+
+import numpy as np
+
+
+def jitter(weight: float) -> float:
+    return weight * (1.0 + 0.2 * np.random.uniform(-1.0, 1.0))
+
+
+def pick_exponent() -> float:
+    return random.uniform(0.0, 1.2)

@@ -1,0 +1,16 @@
+"""CL001 good fixture for the scenarios scope: every draw routes
+through an explicitly seeded generator keyed by (family, seed,
+index), the way ``repro.scenarios.generator`` samples."""
+
+import zlib
+
+import numpy as np
+
+
+def family_rng(name: str, seed: int, index: int):
+    key = (zlib.crc32(name.encode("utf-8")), seed, index)
+    return np.random.default_rng(np.random.SeedSequence(key))
+
+
+def pick_exponent(name: str, seed: int, index: int) -> float:
+    return float(family_rng(name, seed, index).uniform(0.0, 1.2))

@@ -79,6 +79,21 @@ def test_scoping_keeps_rules_out_of_foreign_modules():
     assert [f for f in quiet if f.rule == "CL002"] == []
 
 
+def test_cl001_covers_the_scenarios_scope():
+    """The determinism rule extends to ``repro.scenarios.*``: the
+    seeded family sampler lints clean, unseeded draws fire."""
+    found = _findings("cl001_scenarios_bad.py",
+                      "repro.scenarios.generator", "CL001")
+    assert len(found) == 2
+    clean = lint_file(FIXTURES / "cl001_scenarios_good.py",
+                      module="repro.scenarios.generator")
+    assert clean == []
+    # Outside the scope the same bad source stays quiet.
+    quiet = lint_file(FIXTURES / "cl001_scenarios_bad.py",
+                      module="repro.experiments.perf")
+    assert [f for f in quiet if f.rule == "CL001"] == []
+
+
 def test_cl002_names_the_hot_path():
     found = _findings("cl002_bad.py", "repro.queueing.kernels",
                       "CL002")

@@ -1,0 +1,86 @@
+"""Zipf access skew in the lock model: multiplier law and solver."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.parameters import paper_sites
+from repro.model.solver import CaratModel, ModelConfig
+from repro.model.workload import mb4
+from repro.queueing.yao import zipf_collision_multiplier
+
+
+class TestMultiplier:
+    def test_s_zero_is_exactly_one(self):
+        """s=0 short-circuits: no float summation, bit-exact 1.0."""
+        for granules in (1, 10, 3000):
+            for requests in (1, 8):
+                assert zipf_collision_multiplier(
+                    0.0, granules, requests) == 1.0
+
+    def test_single_request_matches_sum_of_squares(self):
+        import math
+        s, granules = 0.9, 50
+        weights = [(i + 1) ** -s for i in range(granules)]
+        total = math.fsum(weights)
+        expected = granules * math.fsum(
+            (w / total) ** 2 for w in weights)
+        assert zipf_collision_multiplier(s, granules, 1) \
+            == pytest.approx(expected)
+
+    def test_monotone_in_skew(self):
+        values = [zipf_collision_multiplier(s, 1000, 8)
+                  for s in (0.0, 0.3, 0.6, 0.9, 1.2)]
+        assert values == sorted(values)
+        assert values[0] == 1.0
+        assert values[-1] > 1.0
+
+    def test_saturates_with_transaction_size(self):
+        """Larger transactions dedup hot-granule locks, so the
+        multiplier shrinks with L at fixed skew."""
+        m1 = zipf_collision_multiplier(1.2, 1000, 1)
+        m8 = zipf_collision_multiplier(1.2, 1000, 8)
+        m16 = zipf_collision_multiplier(1.2, 1000, 16)
+        assert m1 > m8 > m16 > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_collision_multiplier(-0.1, 100)
+        with pytest.raises(ConfigurationError):
+            zipf_collision_multiplier(0.5, 0)
+        with pytest.raises(ConfigurationError):
+            zipf_collision_multiplier(0.5, 100, 0)
+
+
+class TestWorkloadIntegration:
+    def test_s_zero_solution_is_bit_identical_to_baseline(self):
+        """A zipf_s=0.0 workload is *the* uniform workload: identical
+        dataclass, identical solver trajectory."""
+        baseline = mb4(8)
+        tagged = baseline.with_zipf(0.0)
+        assert tagged == baseline
+        sites = paper_sites()
+        a = CaratModel(ModelConfig(workload=baseline,
+                                   sites=sites)).solve()
+        b = CaratModel(ModelConfig(workload=tagged,
+                                   sites=sites)).solve()
+        for site in a.sites:
+            assert a.site(site).transaction_throughput_per_s \
+                == b.site(site).transaction_throughput_per_s
+
+    def test_skew_reduces_throughput(self):
+        flat = CaratModel(ModelConfig(workload=mb4(8),
+                                      sites=paper_sites())).solve()
+        skew = CaratModel(ModelConfig(
+            workload=mb4(8).with_zipf(1.0), sites=paper_sites())).solve()
+        for site in flat.sites:
+            assert skew.site(site).transaction_throughput_per_s \
+                < flat.site(site).transaction_throughput_per_s
+
+    def test_zipf_needs_granule_count(self):
+        workload = mb4(8).with_zipf(0.5)
+        with pytest.raises(ConfigurationError, match="granule"):
+            workload.collision_multiplier()
+
+    def test_zipf_and_hotspot_are_exclusive(self):
+        with pytest.raises(ConfigurationError, match="exclusive"):
+            mb4(8).with_hotspot(0.8, 0.2).with_zipf(0.5)

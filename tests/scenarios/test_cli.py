@@ -1,0 +1,113 @@
+"""The ``repro scenario`` CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListShow:
+    def test_list_renders_specs_and_families(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("LB8", "MB4", "MB8", "UB6"):
+            assert name in out
+        assert "mb4-jitter" in out
+        assert "skew-heavy" in out
+
+    def test_top_level_list_mentions_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario specs:" in out
+        assert "mb4-jitter" in out
+
+    def test_show_builtin(self, capsys):
+        assert main(["scenario", "show", "mb4"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# digest: ")
+        assert "schema: 1" in out
+
+    def test_show_unknown_target_fails(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            main(["scenario", "show", "nope"])
+
+
+class TestSample:
+    def test_sample_is_deterministic(self, capsys):
+        argv = ["scenario", "sample", "--family", "mb4-jitter",
+                "--seed", "7", "--count", "3"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_sample_jobs_invariant(self, capsys):
+        base = ["scenario", "sample", "--family", "mb4-jitter",
+                "--seed", "7", "--count", "4"]
+        assert main(base + ["--jobs", "1"]) == 0
+        seq = capsys.readouterr().out
+        assert main(base + ["--jobs", "4"]) == 0
+        assert capsys.readouterr().out == seq
+
+    def test_sample_writes_specs(self, tmp_path, capsys):
+        out_dir = tmp_path / "specs"
+        assert main(["scenario", "sample", "--family", "skew-heavy",
+                     "--seed", "3", "--count", "2",
+                     "--output-dir", str(out_dir)]) == 0
+        files = sorted(p.name for p in out_dir.glob("*.yaml"))
+        assert files == ["skew-heavy-s3-i000.yaml",
+                         "skew-heavy-s3-i001.yaml"]
+        # The written files parse back into valid scenarios.
+        from repro.scenarios.spec import load_path
+        for path in out_dir.glob("*.yaml"):
+            assert load_path(path).name == path.stem
+
+    def test_sample_yaml_mode(self, capsys):
+        assert main(["scenario", "sample", "--family", "mb4-jitter",
+                     "--seed", "1", "--count", "1", "--yaml"]) == 0
+        out = capsys.readouterr().out
+        assert "# digest: " in out
+        assert "mix:" in out
+
+
+class TestRunCompare:
+    def test_run_model_only_quick(self, capsys):
+        assert main(["scenario", "run", "mb4",
+                     "--model-only", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "MB4" in out
+
+    def test_compare_json_report(self, tmp_path, capsys):
+        out_file = tmp_path / "report.json"
+        code = main(["scenario", "compare", "lb8", "--quick",
+                     "--duration-s", "30", "--warmup-s", "5",
+                     "--json", "--output", str(out_file)])
+        assert code == 0
+        reports = json.loads(out_file.read_text())
+        assert len(reports) == 1
+        assert reports[0]["scenario"]["name"] == "LB8"
+        assert reports[0]["rows"]
+
+    def test_compare_gate_exit_code(self, capsys):
+        # An absurdly tight gate must flag rows and exit 1.
+        code = main(["scenario", "compare", "mb4", "--quick",
+                     "--duration-s", "30", "--warmup-s", "5",
+                     "--max-residual", "0.0001"])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_compare_from_file_target(self, tmp_path, capsys):
+        from repro.scenarios.spec import builtin_scenario, dump_path
+        path = tmp_path / "my.yaml"
+        dump_path(builtin_scenario("LB8").with_name("my-lb8"), path)
+        code = main(["scenario", "compare", str(path), "--quick",
+                     "--duration-s", "20", "--warmup-s", "4"])
+        assert code == 0
+        assert "my-lb8" in capsys.readouterr().out
+
+    def test_no_targets_fails(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            main(["scenario", "run"])

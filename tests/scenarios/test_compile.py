@@ -1,0 +1,145 @@
+"""Lowering scenarios onto the model/simulator configurations."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.types import BaseType
+from repro.experiments.runner import PAPER_SWEEP
+from repro.model.workload import STANDARD_WORKLOADS, WorkloadSpec
+from repro.scenarios.compile import (ScenarioWorkloadFactory,
+                                     apportion_mix, as_workload,
+                                     compile_open, compile_pair,
+                                     compile_workload,
+                                     experiment_spec)
+from repro.scenarios.spec import (OpenArrivals, ScenarioSpec,
+                                  builtin_scenario)
+
+
+class TestPaperRoundTrip:
+    """The committed YAML specs compile bit-identical to the
+    hand-coded catalog factories (tentpole acceptance)."""
+
+    @pytest.mark.parametrize("name", sorted(STANDARD_WORKLOADS))
+    @pytest.mark.parametrize("n", PAPER_SWEEP)
+    def test_builtin_compiles_to_catalog_workload(self, name, n):
+        compiled = compile_workload(builtin_scenario(name), n=n)
+        assert compiled == STANDARD_WORKLOADS[name](n)
+
+    def test_pair_shares_one_workload(self):
+        model, sim = compile_pair(builtin_scenario("MB4"), n=8)
+        assert model.workload is sim.workload
+
+
+class TestApportionment:
+    def test_exact_integer_mix(self):
+        counts = apportion_mix(
+            {"LRO": 1.0, "LU": 1.0, "DRO": 1.0, "DU": 1.0}, 4)
+        assert counts == {base: 1 for base in BaseType}
+
+    def test_zero_weight_type_compiles_away(self):
+        counts = apportion_mix(
+            {"LRO": 1.0, "LU": 1.0, "DRO": 0.0, "DU": 0.0}, 8)
+        assert counts == {BaseType.LRO: 4, BaseType.LU: 4}
+        assert BaseType.DRO not in counts
+
+    def test_single_type_mix(self):
+        counts = apportion_mix({"LU": 3.0}, 6)
+        assert counts == {BaseType.LU: 6}
+
+    def test_remainders_tie_break_in_canonical_order(self):
+        # Four equal weights, 2 users: exact share 0.5 each, the two
+        # seats go to LRO and LU (canonical order).
+        counts = apportion_mix(
+            {"LRO": 1.0, "LU": 1.0, "DRO": 1.0, "DU": 1.0}, 2)
+        assert counts == {BaseType.LRO: 1, BaseType.LU: 1}
+
+    def test_total_is_preserved(self):
+        for users in (1, 3, 7, 11):
+            counts = apportion_mix(
+                {"LRO": 0.844, "LU": 1.096, "DRO": 1.081,
+                 "DU": 0.884}, users)
+            assert sum(counts.values()) == users
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apportion_mix({"LRO": 0.0}, 4)
+
+
+class TestCompileWorkload:
+    def test_zero_weight_type_absent_from_users(self):
+        spec = ScenarioSpec(name="ro", mix={"LRO": 1.0, "DU": 0.0},
+                            mpl={"A": 4, "B": 4})
+        workload = compile_workload(spec, n=8)
+        for site_users in workload.users.values():
+            assert set(site_users) == {BaseType.LRO}
+
+    def test_single_type_single_site(self):
+        spec = ScenarioSpec(name="solo", mix={"LU": 1.0},
+                            mpl={"A": 5})
+        workload = compile_workload(spec, n=4)
+        assert workload.users == {"A": {BaseType.LU: 5}}
+        assert workload.requests_per_txn == 4
+
+    def test_default_requests_from_size_law(self):
+        from repro.scenarios.spec import SizeDistribution
+        spec = ScenarioSpec(name="sz", mix={"LRO": 1.0},
+                            mpl={"A": 2},
+                            size=SizeDistribution(kind="uniform",
+                                                  low=4, high=12))
+        assert compile_workload(spec).requests_per_txn == 8
+
+    def test_mpl_scale(self):
+        spec = ScenarioSpec(name="ramp", mix={"LRO": 1.0},
+                            mpl={"A": 4, "B": 4},
+                            mpl_schedule=(0.5, 1.0, 2.0))
+        half = compile_workload(spec, n=8, mpl_scale=0.5)
+        assert half.users["A"][BaseType.LRO] == 2
+        double = compile_workload(spec, n=8, mpl_scale=2.0)
+        assert double.users["A"][BaseType.LRO] == 8
+
+    def test_zipf_carries_through(self):
+        spec = ScenarioSpec(name="skew", mix={"LU": 1.0},
+                            mpl={"A": 4}, zipf_s=0.7)
+        assert compile_workload(spec, n=8).zipf_s == 0.7
+
+
+class TestOpenCompile:
+    def test_rates_split_over_mix(self):
+        spec = ScenarioSpec(
+            name="open", mix={"LRO": 3.0, "LU": 1.0},
+            mpl={"A": 4, "B": 4},
+            arrivals=OpenArrivals(rate_per_s={"A": 2.0, "B": 1.0},
+                                  burstiness=4.0))
+        workload, burstiness = compile_open(spec, n=8)
+        assert burstiness == 4.0
+        assert workload.rate("A", BaseType.LRO) == pytest.approx(1.5)
+        assert workload.rate("A", BaseType.LU) == pytest.approx(0.5)
+        assert workload.rate("B", BaseType.LRO) == pytest.approx(0.75)
+
+    def test_closed_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="arrivals"):
+            compile_open(builtin_scenario("MB4"))
+
+
+class TestRunnerIntegration:
+    def test_factory_pickles(self):
+        factory = ScenarioWorkloadFactory(builtin_scenario("UB6"))
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone(8) == factory(8)
+
+    def test_experiment_spec_embeds_digest(self):
+        spec = experiment_spec(builtin_scenario("MB8"))
+        assert spec.exp_id.startswith("scn-")
+        assert spec.sweep == (4, 8, 12, 16, 20)
+        assert spec.workload_factory(8) == \
+            STANDARD_WORKLOADS["MB8"](8)
+
+    def test_as_workload_coercion(self):
+        scenario = builtin_scenario("LB8")
+        workload = as_workload(scenario, n=8)
+        assert isinstance(workload, WorkloadSpec)
+        assert as_workload(workload) is workload
+        with pytest.raises(ConfigurationError):
+            as_workload(42)

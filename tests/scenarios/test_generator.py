@@ -1,0 +1,97 @@
+"""Seeded family sampling: determinism, jobs-invariance, ranges."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios.generator import (ScenarioFamily, family,
+                                       sample_family, sample_one,
+                                       standard_families)
+from repro.scenarios.spec import (builtin_scenario, dumps,
+                                  scenario_digest)
+
+
+def test_same_seed_is_byte_identical():
+    fam = family("mb4-jitter")
+    first = [dumps(s) for s in sample_family(fam, seed=7, count=5)]
+    second = [dumps(s) for s in sample_family(fam, seed=7, count=5)]
+    assert first == second
+
+
+def test_jobs_do_not_change_samples():
+    fam = family("mb4-jitter")
+    seq = [dumps(s) for s in sample_family(fam, seed=7, count=6,
+                                           jobs=1)]
+    par = [dumps(s) for s in sample_family(fam, seed=7, count=6,
+                                           jobs=4)]
+    assert seq == par
+
+
+def test_different_seeds_differ():
+    fam = family("mb4-jitter")
+    a = sample_family(fam, seed=1, count=3)
+    b = sample_family(fam, seed=2, count=3)
+    assert [scenario_digest(s) for s in a] \
+        != [scenario_digest(s) for s in b]
+
+
+def test_sample_one_is_indexable():
+    """Sample i of a family is a pure function of (family, seed, i)."""
+    fam = family("skew-heavy")
+    batch = sample_family(fam, seed=11, count=4)
+    assert dumps(sample_one(fam, seed=11, index=2)) == dumps(batch[2])
+
+
+def test_samples_respect_declared_ranges():
+    fam = family("skew-heavy")
+    for spec in sample_family(fam, seed=3, count=8):
+        lo, hi = fam.zipf_range
+        assert lo <= spec.zipf_s <= hi
+        m_lo, m_hi = fam.mpl_range
+        for users in spec.mpl.values():
+            # The imbalance tilt may stretch past the raw range but
+            # populations stay positive and bounded.
+            assert 1 <= users <= int(m_hi * (1 + fam.mpl_imbalance)) + 1
+        assert spec.size.kind in fam.size_kinds
+        # Every sample validates (ScenarioSpec.__post_init__ ran).
+        assert spec.total_users() >= 1
+
+
+def test_sampled_names_are_unique_and_stable():
+    fam = family("ub-imbalanced")
+    names = [s.name for s in sample_family(fam, seed=5, count=4)]
+    assert names == [f"ub-imbalanced-s5-i{i:03d}" for i in range(4)]
+
+
+def test_family_lookup_rejects_unknown():
+    with pytest.raises(ConfigurationError, match="mb4-jitter"):
+        family("no-such-family")
+
+
+def test_family_validation():
+    base = builtin_scenario("MB4")
+    with pytest.raises(ConfigurationError):
+        ScenarioFamily(name="x", base=base, description="d",
+                       mix_jitter=1.5)
+    with pytest.raises(ConfigurationError):
+        ScenarioFamily(name="x", base=base, description="d",
+                       mpl_range=(8, 4))
+    with pytest.raises(ConfigurationError):
+        ScenarioFamily(name="x", base=base, description="d",
+                       size_kinds=("pareto",))
+
+
+def test_standard_families_catalog():
+    families = standard_families()
+    assert "mb4-jitter" in families
+    assert "skew-heavy" in families
+    for name, fam in families.items():
+        assert fam.name == name
+        assert fam.description
+
+
+def test_zipf_samples_zero_out_hotspot():
+    """Families that draw a Zipf exponent never emit specs mixing the
+    two skew models."""
+    for spec in sample_family(family("mb4-jitter"), seed=9, count=6):
+        assert spec.hot_access_fraction == 0.0
+        assert spec.hot_data_fraction == 0.0

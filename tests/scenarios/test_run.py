@@ -1,0 +1,80 @@
+"""Scenario runs, residual-gate memoization and entry-point shims."""
+
+import pytest
+
+from repro.scenarios.run import (compare_scenario, compare_scenarios,
+                                 flagged_total, run_scenarios)
+from repro.scenarios.spec import builtin_scenario
+
+
+QUICK = {"duration_ms": 20_000.0, "warmup_ms": 4_000.0,
+         "quick": True}
+
+
+def test_compare_scenario_report_shape():
+    report = compare_scenario(builtin_scenario("LB8"), **QUICK)
+    assert report["scenario"]["name"] == "LB8"
+    assert len(report["scenario"]["digest"]) == 64
+    assert report["rows"]
+
+
+def test_compare_scenario_memoizes(tmp_path, monkeypatch):
+    monkeypatch.setenv("CARAT_CACHE_DIR", str(tmp_path))
+    scenario = builtin_scenario("LB8")
+    first = compare_scenario(scenario, use_cache=True, **QUICK)
+    second = compare_scenario(scenario, use_cache=True, **QUICK)
+    assert second == first
+    # Different run parameters must miss.
+    third = compare_scenario(scenario, use_cache=True, sim_seed=99,
+                             **QUICK)
+    assert third["seed"] == 99
+
+
+def test_compare_scenarios_jobs_match_sequential():
+    scenarios = [builtin_scenario("LB8"),
+                 builtin_scenario("MB4")]
+    seq, seq_failures = compare_scenarios(scenarios,
+                                          max_residual=10.0,
+                                          jobs=1, **QUICK)
+    par, par_failures = compare_scenarios(scenarios,
+                                          max_residual=10.0,
+                                          jobs=2, **QUICK)
+    assert [r["scenario"]["name"] for r in seq] \
+        == [r["scenario"]["name"] for r in par] == ["LB8", "MB4"]
+    assert seq == par
+    assert seq_failures == par_failures
+    assert flagged_total(seq, 10.0) == flagged_total(par, 10.0)
+
+
+def test_run_scenarios_model_only():
+    results = run_scenarios([builtin_scenario("MB4")], quick=True,
+                            model_only=True, jobs=1)
+    assert len(results) == 1
+    assert results[0].spec.title == "Scenario MB4"
+
+
+def test_obs_metrics_emitted():
+    from repro.obs import metrics as obs
+    with obs.recording() as registry:
+        from repro.scenarios.generator import family, sample_family
+        sample_family(family("mb4-jitter"), seed=1, count=2)
+        compare_scenarios([builtin_scenario("LB8")],
+                          max_residual=10.0, **QUICK)
+    assert registry.counters["scenario.sampled"] == 2.0
+    assert "scenario.compare_failures" in registry.counters
+
+
+def test_planner_accepts_scenarios():
+    from repro.planner.spec import PlanSpec
+    plan = PlanSpec.for_scenario(builtin_scenario("MB4"), n=8,
+                                 mpl_max=6)
+    assert plan.workload.name == "MB4"
+    assert plan.mpl_max == 6
+
+
+def test_sensitivity_accepts_scenarios(sites):
+    from repro.experiments.sensitivity import sweep_site_field
+    result = sweep_site_field(builtin_scenario("MB4"), sites,
+                              "granules", [1500.0, 3000.0])
+    assert len(result.points) == 2
+    assert all(p.throughput_per_s["A"] > 0 for p in result.points)

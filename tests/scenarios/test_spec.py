@@ -1,0 +1,112 @@
+"""ScenarioSpec validation, canonical YAML round-trips and digests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import (BUILTIN_NAMES, OpenArrivals,
+                                  ScenarioSpec, SizeDistribution,
+                                  builtin_scenario, builtin_scenarios,
+                                  dumps, load_path, loads,
+                                  scenario_digest)
+
+
+def small_spec(**overrides) -> ScenarioSpec:
+    fields = {
+        "name": "tiny",
+        "mix": {"LRO": 1.0, "LU": 1.0},
+        "mpl": {"A": 4, "B": 4},
+    }
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestValidation:
+    def test_unknown_mix_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="mix"):
+            small_spec(mix={"XX": 1.0})
+
+    def test_all_zero_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(mix={"LRO": 0.0, "LU": 0.0})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(mix={"LRO": -1.0, "LU": 2.0})
+
+    def test_zero_total_users_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(mpl={"A": 0, "B": 0})
+
+    def test_zipf_and_hotspot_exclusive(self):
+        with pytest.raises(ConfigurationError, match="exclusive"):
+            small_spec(zipf_s=0.5, hot_access_fraction=0.8,
+                       hot_data_fraction=0.2)
+
+    def test_arrival_site_must_have_mpl_entry(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(arrivals=OpenArrivals(
+                rate_per_s={"C": 1.0}))
+
+    def test_burstiness_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OpenArrivals(rate_per_s={"A": 1.0}, burstiness=0.5)
+
+    def test_size_kinds(self):
+        with pytest.raises(ConfigurationError):
+            SizeDistribution(kind="pareto", value=8.0)
+        with pytest.raises(ConfigurationError):
+            SizeDistribution(kind="uniform", low=9, high=4)
+        assert SizeDistribution(kind="uniform", low=4,
+                                high=12).mean() == 8.0
+        assert SizeDistribution(kind="geometric",
+                                value=6.0).mean_requests() == 6
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", BUILTIN_NAMES)
+    def test_builtin_yaml_round_trips(self, name):
+        spec = builtin_scenario(name)
+        again = loads(dumps(spec))
+        assert again == spec
+        assert scenario_digest(again) == scenario_digest(spec)
+
+    def test_dump_load_path(self, tmp_path):
+        from repro.scenarios.spec import dump_path
+        spec = small_spec(zipf_s=0.3)
+        path = tmp_path / "tiny.yaml"
+        dump_path(spec, path)
+        assert load_path(path) == spec
+
+    def test_unknown_key_rejected(self):
+        text = dumps(small_spec()) + "surprise: 1\n"
+        with pytest.raises(ConfigurationError, match="surprise"):
+            loads(text)
+
+    def test_schema_mismatch_rejected(self):
+        text = dumps(small_spec()).replace("schema: 1", "schema: 99")
+        with pytest.raises(ConfigurationError, match="schema"):
+            loads(text)
+
+    def test_open_spec_round_trips(self):
+        spec = small_spec(arrivals=OpenArrivals(
+            rate_per_s={"A": 0.5}, burstiness=4.0))
+        assert loads(dumps(spec)) == spec
+
+
+class TestDigest:
+    def test_digest_is_content_addressed(self):
+        a = small_spec()
+        b = small_spec()
+        assert scenario_digest(a) == scenario_digest(b)
+        c = small_spec(zipf_s=0.1)
+        assert scenario_digest(c) != scenario_digest(a)
+
+    def test_name_changes_digest(self):
+        assert scenario_digest(small_spec(name="x")) \
+            != scenario_digest(small_spec(name="y"))
+
+
+def test_builtin_scenarios_catalog():
+    catalog = builtin_scenarios()
+    assert set(catalog) == set(BUILTIN_NAMES)
+    assert all(spec.name == name for name, spec in catalog.items())

@@ -1,0 +1,110 @@
+"""Simulator-side scenario features: Zipf record picks and bursty
+open arrivals."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.types import BaseType
+from repro.model.workload import mb4
+from repro.testbed.system import (CaratSimulation,
+                                  OpenCaratSimulation,
+                                  SimulationConfig)
+
+
+def short_config(sites, workload, seed=17):
+    return SimulationConfig(workload=workload, sites=sites,
+                            seed=seed, warmup_ms=5_000.0,
+                            duration_ms=60_000.0)
+
+
+class TestZipfSimulation:
+    def test_s_zero_is_bit_identical_to_uniform(self, sites):
+        """zipf_s=0.0 takes the pre-existing uniform branch: the RNG
+        stream and therefore the whole run replay bit-identically."""
+        flat = CaratSimulation(
+            short_config(sites, mb4(8))).run()
+        tagged = CaratSimulation(
+            short_config(sites, mb4(8).with_zipf(0.0))).run()
+        for site in ("A", "B"):
+            a, b = flat.site(site), tagged.site(site)
+            assert a.commits_by_type == b.commits_by_type
+            assert a.cpu_utilization == b.cpu_utilization
+            assert a.mean_response_ms_by_type \
+                == b.mean_response_ms_by_type
+
+    def test_skew_concentrates_conflicts(self, sites):
+        """Strong skew produces more lock waits than uniform access
+        at the same seed and load."""
+        flat = CaratSimulation(short_config(sites, mb4(8))).run()
+        skew = CaratSimulation(
+            short_config(sites, mb4(8).with_zipf(1.2))).run()
+        assert sum(s.lock_waits for s in skew.sites.values()) \
+            > sum(s.lock_waits for s in flat.sites.values())
+
+    def test_zipf_cdf_is_a_cdf(self, sites):
+        sim = CaratSimulation(
+            short_config(sites, mb4(8).with_zipf(0.9)))
+        cdf = sim.zipf_cdf("A")
+        assert cdf[-1] == 1.0
+        assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+        # Skewed: the first 1% of granules carries well over 1% mass.
+        assert cdf[len(cdf) // 100] > 0.05
+
+    def test_zipf_records_stay_in_range(self, sites):
+        sim = CaratSimulation(
+            short_config(sites, mb4(8).with_zipf(1.0)))
+        node = sim.nodes["A"]
+        user = sim.users[0]
+        records = user._pick_zipf_records(node, 16)
+        total = node.storage.records_total
+        assert len(set(records)) == 16
+        assert all(0 <= r < total for r in records)
+
+
+class TestBurstyArrivals:
+    RATES = {BaseType.LRO: 0.2, BaseType.LU: 0.1}
+
+    def arrivals(self):
+        return {"A": dict(self.RATES), "B": dict(self.RATES)}
+
+    def test_burstiness_one_matches_plain_poisson(self, sites):
+        """c^2 = 1 must keep the exact expovariate draw sequence."""
+        base = OpenCaratSimulation(short_config(sites, mb4(8)),
+                                   self.arrivals()).run()
+        tagged = OpenCaratSimulation(short_config(sites, mb4(8)),
+                                     self.arrivals(),
+                                     burstiness=1.0).run()
+        for site in ("A", "B"):
+            assert base.site(site).commits_by_type \
+                == tagged.site(site).commits_by_type
+
+    def test_bursty_interarrivals_have_higher_cv(self, sites):
+        """The H2 sampler's draws really carry the requested squared
+        coefficient of variation."""
+        import random
+        sim = OpenCaratSimulation(short_config(sites, mb4(8)),
+                                  self.arrivals(), burstiness=9.0)
+        rng = random.Random(5)
+        draw = sim._interarrival_sampler(rng, 0.001)
+        samples = [draw() for _ in range(40_000)]
+        mean = sum(samples) / len(samples)
+        var = sum((x - mean) ** 2 for x in samples) / len(samples)
+        c2 = var / (mean * mean)
+        assert mean == pytest.approx(1000.0, rel=0.05)
+        assert c2 == pytest.approx(9.0, rel=0.2)
+
+    def test_burstiness_below_one_rejected(self, sites):
+        with pytest.raises(ConfigurationError):
+            OpenCaratSimulation(short_config(sites, mb4(8)),
+                                self.arrivals(), burstiness=0.25)
+
+    def test_bursty_run_still_stable(self, sites):
+        """A bursty source at modest load commits work at roughly the
+        offered rate (stability sanity, not a tight bound)."""
+        sim = OpenCaratSimulation(short_config(sites, mb4(8)),
+                                  self.arrivals(),
+                                  burstiness=4.0).run()
+        offered = sum(self.RATES.values())
+        for site in ("A", "B"):
+            measured = sim.site(site).transaction_throughput_per_s
+            assert measured == pytest.approx(offered, rel=0.5)
